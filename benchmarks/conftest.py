@@ -1,0 +1,71 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper at CPU scale.
+The expensive artifacts — the synthetic world and the five trained models of
+Tables II–IV — are session-scoped so each is built exactly once per
+``pytest benchmarks/ --benchmark-only`` run.
+
+Protocol notes (documented in EXPERIMENTS.md):
+
+* Training uses a fixed two-epoch budget for every model, mirroring the
+  single-pass convention of production CTR models (the paper trains one pass
+  over 15 days of logs); longer training overfits at this scale for *all*
+  models.
+* Absolute metric values differ from the paper (different data, 4-5 orders
+  of magnitude smaller); the benchmarks check and report the *shape*:
+  ordering of models, sign of deltas, and locations of optima.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig, TrainConfig, build_model, train_model
+from repro.data import WorldConfig, make_search_datasets
+from repro.data.splits import standard_test_splits
+from repro.eval import predict_scores
+from repro.utils import SeedBank
+
+BENCH_SEED = 3
+TRAIN_SESSIONS = 5000
+TEST_SESSIONS = 1200
+
+#: The five models of Tables II–IV, in the paper's row order.
+MODEL_ROWS = ["dnn", "din", "category_moe", "aw_moe", "aw_moe_cl"]
+
+
+def bench_train_config() -> TrainConfig:
+    return TrainConfig(epochs=2, batch_size=256, learning_rate=1.5e-3)
+
+
+@pytest.fixture(scope="session")
+def search_data():
+    """The JD-like synthetic world with train (1:1) and full test splits."""
+    return make_search_datasets(
+        WorldConfig.small(), TRAIN_SESSIONS, TEST_SESSIONS, seed=BENCH_SEED
+    )
+
+
+@pytest.fixture(scope="session")
+def search_splits(search_data):
+    """Full + two long-tail test splits (Table I columns)."""
+    _, _, test = search_data
+    return standard_test_splits(test)
+
+
+@pytest.fixture(scope="session")
+def trained_models(search_data):
+    """All five compared models trained once, with cached test scores."""
+    _, train, test = search_data
+    bank = SeedBank(101)
+    config = ModelConfig.small()
+    trained = {}
+    for name in MODEL_ROWS:
+        build_name = "aw_moe" if name == "aw_moe_cl" else name
+        train_config = bench_train_config()
+        if name == "aw_moe_cl":
+            train_config = train_config.with_contrastive()
+        model = build_model(build_name, config, train.meta, bank.child(name))
+        train_model(model, train, train_config, seed=77)
+        scores = predict_scores(model, test)
+        trained[name] = (model, scores)
+    return trained

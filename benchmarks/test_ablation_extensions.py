@@ -1,0 +1,129 @@
+"""§V future-work ablations: sparse top-K gate, adversarial regularizer,
+alternative sequence augmentations.
+
+These are the three extensions the paper names in its conclusion; each
+ablation compares the extension against plain AW-MoE(+CL) under the standard
+benchmark protocol.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AWMoE, ModelConfig, build_model, train_model
+from repro.core.extensions import SparseGatedAWMoE, expert_correlation_loss, train_adversarial_aw_moe
+from repro.eval import evaluate_ranking, predict_scores
+from repro.eval.auc import session_auc_at_k
+from repro.nn import Tensor
+from repro.utils import SeedBank, format_float, print_table
+
+from conftest import bench_train_config
+
+
+def test_ablation_sparse_top_k_gate(benchmark, search_data):
+    """X1 — sparsely-gated top-K AW-MoE (K=8 experts, top-2 active)."""
+    from dataclasses import replace
+
+    _, train, test = search_data
+    bank = SeedBank(201)
+
+    def run():
+        results = {}
+        dense_config = replace(ModelConfig.small(), num_experts=8)
+        dense = AWMoE(dense_config, train.meta, bank.child("dense8"))
+        train_model(dense, train, bench_train_config(), seed=31)
+        results["dense K=8"] = (evaluate_ranking(dense, test), 1.0)
+
+        sparse = SparseGatedAWMoE(dense_config, train.meta, bank.child("sparse8"), top_k=2)
+        train_model(sparse, train, bench_train_config(), seed=31)
+        frac = sparse.active_expert_fraction(test.batch_at(np.arange(min(512, len(test)))))
+        results["sparse top-2 of K=8"] = (evaluate_ranking(sparse, test), frac)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name, format_float(metrics["auc"]), f"{frac:.2f}"]
+        for name, (metrics, frac) in results.items()
+    ]
+    print_table(
+        ["Variant", "AUC", "active expert fraction"],
+        rows,
+        title="X1 — sparsely-gated MoE (paper §V future work)",
+    )
+
+    dense_auc = results["dense K=8"][0]["auc"]
+    sparse_auc = results["sparse top-2 of K=8"][0]["auc"]
+    assert sparse_auc > 0.55, "sparse gating must still learn"
+    assert sparse_auc > dense_auc - 0.03, "top-2 routing must stay competitive"
+    assert results["sparse top-2 of K=8"][1] <= 0.3, "only ~2 of 8 experts may be active"
+
+
+def test_ablation_adversarial_disagreement(benchmark, search_data):
+    """X2 — expert-disagreement regularization (from Category-MoE [34])."""
+    _, train, test = search_data
+    bank = SeedBank(202)
+
+    def run():
+        plain = AWMoE(ModelConfig.small(), train.meta, bank.child("plain"))
+        train_adversarial_aw_moe(plain, train, bench_train_config(), adversarial_weight=0.0, seed=32)
+        regularized = AWMoE(ModelConfig.small(), train.meta, bank.child("adv"))
+        train_adversarial_aw_moe(
+            regularized, train, bench_train_config(), adversarial_weight=0.5, seed=32
+        )
+        batch = test.batch_at(np.arange(min(512, len(test))))
+        return {
+            "plain": (
+                evaluate_ranking(plain, test),
+                expert_correlation_loss(Tensor(plain.expert_scores(batch))).item(),
+            ),
+            "adversarial": (
+                evaluate_ranking(regularized, test),
+                expert_correlation_loss(Tensor(regularized.expert_scores(batch))).item(),
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name, format_float(metrics["auc"]), format_float(corr)]
+        for name, (metrics, corr) in results.items()
+    ]
+    print_table(
+        ["Variant", "AUC", "expert correlation"],
+        rows,
+        title="X2 — adversarial expert-disagreement regularizer (paper §V)",
+    )
+
+    assert results["adversarial"][1] < results["plain"][1], (
+        "the regularizer must decorrelate the experts"
+    )
+    assert results["adversarial"][0]["auc"] > 0.55
+
+
+def test_ablation_sequence_augmentations(benchmark, search_data, search_splits):
+    """X3 — mask (paper) vs reorder vs crop augmentations for the CL loss."""
+    _, train, _ = search_data
+    split = search_splits["long_tail_1"]
+    bank = SeedBank(203)
+
+    def run():
+        aucs = {}
+        for augmentation in ("mask", "crop", "reorder"):
+            config = bench_train_config().with_contrastive(augmentation=augmentation)
+            model = build_model("aw_moe", ModelConfig.small(), train.meta, bank.child(augmentation))
+            train_model(model, train, config, seed=33)
+            scores = predict_scores(model, split)
+            aucs[augmentation] = session_auc_at_k(scores, split.label, split.session_id, k=10)
+        return aucs
+
+    aucs = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[name, format_float(value)] for name, value in aucs.items()]
+    print_table(
+        ["Augmentation", "long-tail AUC@10"],
+        rows,
+        title="X3 — behaviour-sequence augmentations for contrastive learning (paper §V)",
+    )
+
+    for name, value in aucs.items():
+        assert value > 0.55, f"{name} augmentation must keep the model useful"
+    # Reordering is a no-op for a permutation-invariant gate, so it cannot
+    # dominate the informative augmentations by a wide margin.
+    assert max(aucs.values()) - min(aucs.values()) < 0.08

@@ -1,0 +1,38 @@
+"""Fig. 2 — GBDT feature importance for category-new vs category-old users.
+
+Paper observation: sales / popularity / price dominate for category-new
+users; item_click_cnt / brand_click_time_diff / shop_click_cnt dominate for
+category-old users.  The benchmark trains one GBDT per user group (our
+XGBoost stand-in) and asserts the same dominance pattern.
+"""
+
+import numpy as np
+
+from repro.eval import feature_importance_by_user_group
+from repro.utils import print_table
+
+
+def test_fig2_feature_importance_by_user_group(benchmark, search_data):
+    _, train, _ = search_data
+
+    result = benchmark.pedantic(
+        lambda: feature_importance_by_user_group(train, rng=np.random.default_rng(0)),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_table(
+        ["Feature", "Category-new users", "Category-old users"],
+        result.rows(),
+        title="Fig. 2 — normalized GBDT gain importance per user group",
+    )
+
+    # The paper's qualitative pattern:
+    assert result.popularity_mass("new") > result.popularity_mass("old"), (
+        "popularity-side features must matter more for category-new users"
+    )
+    assert result.two_sided_mass("old") > result.two_sided_mass("new"), (
+        "two-sided features must matter more for category-old users"
+    )
+    assert result.popularity_mass("new") > result.two_sided_mass("new")
+    assert result.two_sided_mass("old") > result.popularity_mass("old")

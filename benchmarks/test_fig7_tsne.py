@@ -1,0 +1,62 @@
+"""Fig. 7 — t-SNE of the gate network's user representations.
+
+The paper shows that gate outputs cluster by user group: new users separate
+cleanly from old users, and old users split by whether they purchased the
+target item before.  We embed the trained AW-MoE gate outputs with our exact
+t-SNE and check the separation quantitatively (centroid purity and
+silhouette), since a benchmark cannot eyeball a scatter plot.
+"""
+
+import numpy as np
+
+from repro.eval import (
+    TSNEParams,
+    fig7_user_groups,
+    nearest_centroid_purity,
+    silhouette_score,
+    tsne,
+)
+from repro.utils import print_table
+
+GROUP_NAMES = {0: "New user", 1: "Old user w/o target order", 2: "Old user w/ target order"}
+
+
+def test_fig7_gate_representation_clusters(benchmark, trained_models, search_splits):
+    model, _ = trained_models["aw_moe_cl"]
+    test = search_splits["full"]
+
+    def embed():
+        rows = np.arange(min(600, len(test)))
+        batch = test.batch_at(rows)
+        gates = model.gate_outputs(batch)
+        groups = fig7_user_groups(
+            test.behavior_lengths()[rows],
+            batch["other_features"][:, test.meta.feature_index("item_click_cnt")],
+        )
+        coords = tsne(gates, TSNEParams(num_iters=300), rng=np.random.default_rng(1))
+        return gates, coords, groups
+
+    gates, coords, groups = benchmark.pedantic(embed, rounds=1, iterations=1)
+
+    present = [g for g in np.unique(groups) if (groups == g).sum() >= 5]
+    keep = np.isin(groups, present)
+    purity = nearest_centroid_purity(coords[keep], groups[keep])
+    gate_silhouette_new_vs_old = silhouette_score(
+        gates[keep], (groups[keep] == 0).astype(int)
+    ) if 0 in present else float("nan")
+
+    counts = [[GROUP_NAMES[g], int((groups == g).sum())] for g in np.unique(groups)]
+    print_table(["User group", "count"], counts, title="Fig. 7 — user groups in sample")
+    print(f"Fig. 7 — t-SNE centroid purity over groups: {purity:.3f}")
+    print(f"Fig. 7 — gate-space silhouette (new vs old users): {gate_silhouette_new_vs_old:.3f}")
+
+    # New users must be separated from old users in gate space (the paper's
+    # clearest visual claim): their centroid distance should exceed the
+    # typical within-old spread.
+    assert 0 in present, "sample must contain new users"
+    new_centroid = gates[groups == 0].mean(axis=0)
+    old_centroid = gates[groups != 0].mean(axis=0)
+    within_spread = np.linalg.norm(gates[groups != 0] - old_centroid, axis=1).mean()
+    between = np.linalg.norm(new_centroid - old_centroid)
+    assert between > 0.1 * within_spread, "new users must be displaced from old users"
+    assert purity > 0.4, "t-SNE clusters must be better than random assignment"

@@ -1,0 +1,69 @@
+"""Fig. 8 — contrastive-learning hyper-parameter sweeps (p, l, λ).
+
+The paper tunes the mask probability p, the negative count l and the loss
+weight λ on the long-tail AUC@10 and finds an interior optimum for each
+(p = 0.1, l = 3, λ = 0.05): performance degrades at both extremes.  The
+benchmark sweeps each parameter (others fixed at the paper's optimum) on the
+long-tail split and asserts the robust part of the shape: the extreme-masking
+end of the p-sweep must not win, and every setting stays in a sane band.
+"""
+
+import numpy as np
+
+from repro.core import ModelConfig, build_model, train_model
+from repro.eval import predict_scores
+from repro.eval.auc import session_auc_at_k
+from repro.utils import SeedBank, format_float, print_table
+
+from conftest import bench_train_config
+
+P_VALUES = [0.01, 0.1, 0.4, 0.8]
+L_VALUES = [1, 3, 10]
+LAMBDA_VALUES = [0.01, 0.05, 0.5]
+
+
+def _train_and_score(train, split, bank, tag, **cl_overrides):
+    config = bench_train_config().with_contrastive(**cl_overrides)
+    model = build_model("aw_moe", ModelConfig.small(), train.meta, bank.child(tag))
+    train_model(model, train, config, seed=21)
+    scores = predict_scores(model, split)
+    return session_auc_at_k(scores, split.label, split.session_id, k=10)
+
+
+def test_fig8_contrastive_hyperparameters(benchmark, search_data, search_splits):
+    _, train, _ = search_data
+    split = search_splits["long_tail_1"]
+    bank = SeedBank(88)
+
+    def run_sweeps():
+        sweeps = {"p": {}, "l": {}, "lambda": {}}
+        for p in P_VALUES:
+            sweeps["p"][p] = _train_and_score(train, split, bank, f"p{p}", mask_prob=p)
+        for l in L_VALUES:
+            sweeps["l"][l] = _train_and_score(train, split, bank, f"l{l}", num_negatives=l)
+        for lam in LAMBDA_VALUES:
+            sweeps["lambda"][lam] = _train_and_score(
+                train, split, bank, f"lam{lam}", cl_weight=lam
+            )
+        return sweeps
+
+    sweeps = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+
+    for parameter, values in sweeps.items():
+        rows = [[str(setting), format_float(auc)] for setting, auc in values.items()]
+        print_table(
+            [parameter, "long-tail AUC@10"],
+            rows,
+            title=f"Fig. 8 — sweep of {parameter} (others at paper optimum)",
+        )
+
+    # Shape checks (paper: optimum at p=0.1, extremes deteriorate).
+    p_sweep = sweeps["p"]
+    assert max(p_sweep, key=p_sweep.get) != 0.8, (
+        "masking nearly the whole sequence must not be the best setting"
+    )
+    for parameter, values in sweeps.items():
+        spread = max(values.values()) - min(values.values())
+        assert spread < 0.1, f"{parameter} sweep out of sane band (spread {spread:.3f})"
+        for auc in values.values():
+            assert auc > 0.55

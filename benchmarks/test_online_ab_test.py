@@ -1,0 +1,43 @@
+"""§IV-I — simulated online A/B test: AW-MoE vs the Category-MoE incumbent.
+
+The paper's live experiment (2021-09-17 .. 2021-09-22) measured +0.78% UCVR
+(p = 2.2e-5) and +0.35% UCTR (p = 2.97e-5) for AW-MoE over Category-MoE.  We
+replay the setup against the synthetic world: users split 50/50 between the
+two rankers, clicks/purchases drawn from the ground-truth preference model
+with position bias.
+"""
+
+from repro.serving import run_ab_test
+from repro.utils import print_table
+
+
+def test_online_ab_test_aw_moe_vs_category_moe(benchmark, search_data, trained_models):
+    world, _, _ = search_data
+    control, _ = trained_models["category_moe"]
+    treatment, _ = trained_models["aw_moe_cl"]
+
+    result = benchmark.pedantic(
+        lambda: run_ab_test(world, control, treatment, num_users=600, seed=5),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        ["UCTR", f"{result.uctr_a:.4f}", f"{result.uctr_b:.4f}",
+         f"{result.uctr_lift * 100:+.2f}%", f"{result.uctr_p_value:.4f}", "+0.35%"],
+        ["UCVR", f"{result.ucvr_a:.4f}", f"{result.ucvr_b:.4f}",
+         f"{result.ucvr_lift * 100:+.2f}%", f"{result.ucvr_p_value:.4f}", "+0.78%"],
+    ]
+    print_table(
+        ["Metric", "Category-MoE", "AW-MoE & CL", "lift", "p-value", "paper lift"],
+        rows,
+        title="§IV-I — simulated online A/B test",
+    )
+
+    # Shape: the treatment must not lose conversions; at simulation scale the
+    # paper's sub-1% lifts sit inside the binomial noise, so the assertion is
+    # directional with a tolerance rather than a significance requirement.
+    assert result.ucvr_b >= result.ucvr_a - 0.03, "AW-MoE must not lose UCVR"
+    assert result.uctr_b >= result.uctr_a - 0.03, "AW-MoE must not lose UCTR"
+    assert 0.0 < result.uctr_a < 1.0
+    assert 0.0 < result.ucvr_a < 1.0

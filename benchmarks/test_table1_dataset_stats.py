@@ -1,0 +1,43 @@
+"""Table I — statistics of the (synthetic stand-in for the) JD dataset.
+
+Paper reference values (Table I):
+  training set 6.69M sessions / 13.47M examples at 1:1,
+  full test 76.9k sessions at 1:10 (11.4 examples/session),
+  long-tail test 1 at 1:6, long-tail test 2 at 1:13.
+Our world is ~3 orders of magnitude smaller; the benchmark checks the same
+*structure*: balanced training split, imbalanced test splits, long-tail
+subsets much smaller than the full test set.
+"""
+
+from repro.data.stats import table1_rows
+from repro.utils import print_table
+
+
+def test_table1_dataset_statistics(benchmark, search_data, search_splits):
+    _, train, _ = search_data
+
+    def build_rows():
+        splits = {"Training set": train}
+        splits["Full test set"] = search_splits["full"]
+        splits["Long-tail test 1"] = search_splits["long_tail_1"]
+        splits["Long-tail test 2"] = search_splits["long_tail_2"]
+        return table1_rows(splits), splits
+
+    rows, splits = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    print_table(
+        ["Statistic", "Training set", "Full test", "Long-tail 1", "Long-tail 2"],
+        rows,
+        title="Table I — dataset statistics (synthetic JD-like world)",
+    )
+
+    train_set = splits["Training set"]
+    full = splits["Full test set"]
+    lt1 = splits["Long-tail test 1"]
+    lt2 = splits["Long-tail test 2"]
+
+    # Shape checks mirroring the paper's Table I.
+    assert abs(train_set.label.mean() - 0.5) < 0.01, "training split must be 1:1"
+    assert full.pos_neg_ratio() > 3.0, "test split keeps all impressions (imbalanced)"
+    assert len(lt1) < 0.5 * len(full)
+    assert len(lt2) < 0.5 * len(full)
+    assert train_set.examples_per_session() < full.examples_per_session()

@@ -1,0 +1,42 @@
+"""Table IV — long-tail test set 2 (elderly users).
+
+Paper values (AUC): DNN 0.7621 < DIN 0.7761 ≈ Category-MoE 0.7772 <
+AW-MoE 0.7849 < AW-MoE & CL 0.7873.  Elderly users have systematically
+shorter histories, so this split confirms Table III's long-tail story on an
+independent selection criterion.
+"""
+
+from _helpers import evaluate_on_split, print_model_table
+
+PAPER_AUC = {
+    "dnn": 0.7621,
+    "din": 0.7761,
+    "category_moe": 0.7772,
+    "aw_moe": 0.7849,
+    "aw_moe_cl": 0.7873,
+}
+
+
+def test_table4_long_tail_2(benchmark, trained_models, search_splits):
+    split = search_splits["long_tail_2"]
+    full_len = len(search_splits["full"])
+
+    results = benchmark.pedantic(
+        lambda: evaluate_on_split(trained_models, split, full_len),
+        rounds=1,
+        iterations=1,
+    )
+    print_model_table(
+        "Table IV — long-tail test set 2 (elderly users)",
+        results,
+        split,
+        PAPER_AUC,
+    )
+
+    auc = {name: results[name]["auc"] for name in results}
+    baselines = max(auc["dnn"], auc["din"], auc["category_moe"])
+    assert max(auc["aw_moe"], auc["aw_moe_cl"]) > baselines, (
+        "AW-MoE variants must beat every baseline on elderly users"
+    )
+    for name, value in auc.items():
+        assert value > 0.5, f"{name} must beat random ranking"

@@ -1,0 +1,76 @@
+"""Table V — the recommendation experiment (Amazon-review protocol).
+
+Paper values (overall AUC): DNN 0.7123 < DIN 0.7162 < Category-MoE 0.7253 <
+AW-MoE 0.7362 < AW-MoE & CL 0.7381.  Our stand-in dataset follows the exact
+leave-one-out / 1-negative / 90-10-user-split protocol; there is no query,
+so the gate consumes the target item (the ``task="reco"`` code path).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig, build_model, train_model
+from repro.data import WorldConfig
+from repro.data.amazon import make_amazon_datasets
+from repro.eval import predict_scores
+from repro.eval.auc import global_auc
+from repro.utils import SeedBank, format_float, print_table
+
+from conftest import bench_train_config
+from _helpers import MODEL_LABELS
+
+PAPER_AUC = {
+    "dnn": 0.7123,
+    "din": 0.7162,
+    "category_moe": 0.7253,
+    "aw_moe": 0.7362,
+    "aw_moe_cl": 0.7381,
+}
+
+
+@pytest.fixture(scope="module")
+def amazon_data():
+    config = replace(WorldConfig.small(), num_users=9000)
+    return make_amazon_datasets(config, seed=7)
+
+
+def test_table5_amazon_recommendation(benchmark, amazon_data):
+    _, train, test = amazon_data
+    model_config = ModelConfig.small(task="reco")
+    bank = SeedBank(55)
+
+    def run_all():
+        aucs = {}
+        for name in PAPER_AUC:
+            build_name = "aw_moe" if name == "aw_moe_cl" else name
+            train_config = bench_train_config()
+            if name == "aw_moe_cl":
+                train_config = train_config.with_contrastive()
+            model = build_model(build_name, model_config, train.meta, bank.child(name))
+            train_model(model, train, train_config, seed=9)
+            aucs[name] = global_auc(predict_scores(model, test), test.label)
+        return aucs
+
+    aucs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [MODEL_LABELS[name], format_float(aucs[name]), format_float(PAPER_AUC[name])]
+        for name in PAPER_AUC
+    ]
+    print_table(
+        ["Model", "AUC", "paper AUC"],
+        rows,
+        title="Table V — recommendation protocol (synthetic Amazon-like world)",
+    )
+
+    # Robust shape of the paper's Table V: an AW-MoE variant on top, DNN not
+    # competitive with it (middle-row ordering is below the noise floor at
+    # this scale and is reported, not asserted).
+    assert max(aucs["aw_moe"], aucs["aw_moe_cl"]) == max(aucs.values()), (
+        "an AW-MoE variant must be the strongest model"
+    )
+    assert aucs["aw_moe_cl"] > aucs["dnn"], "the full method must beat DNN"
+    for name, value in aucs.items():
+        assert value > 0.6, f"{name} must learn the recommendation task"

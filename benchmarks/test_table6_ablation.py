@@ -1,0 +1,77 @@
+"""Table VI — ablation of the gate network's two modules (GU and AU).
+
+Paper values (full test AUC): Base 0.8438 < Base+GU 0.8451 < Base+AU 0.8455
+< Base+GU+AU 0.8459 — each module contributes, together they are best.  At
+CPU scale the individual deltas (~0.1-0.2 points in the paper) are near the
+seed noise floor, so the benchmark asserts the robust part of the shape: the
+full AW-MoE gate is not worse than the Base variant, and all variants train
+to useful accuracy.
+"""
+
+import numpy as np
+
+from repro.core import AWMoE, ModelConfig
+from repro.core.trainer import train_model
+from repro.eval import evaluate_ranking
+from repro.utils import SeedBank, format_float, print_table
+
+from conftest import bench_train_config
+
+PAPER_AUC = {
+    "Base (sum pooling)": 0.8438,
+    "Base+GU": 0.8451,
+    "Base+AU": 0.8455,
+    "Base+GU+AU (AW-MoE)": 0.8459,
+}
+
+VARIANTS = {
+    "Base (sum pooling)": (False, False),
+    "Base+GU": (True, False),
+    "Base+AU": (False, True),
+    "Base+GU+AU (AW-MoE)": (True, True),
+}
+
+
+def test_table6_gate_module_ablation(benchmark, search_data):
+    _, train, test = search_data
+    bank = SeedBank(66)
+
+    def run_all():
+        results = {}
+        for label, (use_gu, use_au) in VARIANTS.items():
+            config = ModelConfig.small().with_gate_ablation(use_gu, use_au)
+            model = AWMoE(config, train.meta, bank.child(label))
+            train_model(model, train, bench_train_config(), seed=13)
+            results[label] = evaluate_ranking(model, test)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [
+            label,
+            format_float(results[label]["auc"]),
+            format_float(results[label]["ndcg"]),
+            format_float(PAPER_AUC[label]),
+        ]
+        for label in VARIANTS
+    ]
+    print_table(
+        ["Gate variant", "AUC", "NDCG", "paper AUC"],
+        rows,
+        title="Table VI — gate network ablation (GU: gate unit, AU: activation unit)",
+    )
+
+    aucs = {label: results[label]["auc"] for label in VARIANTS}
+    full_variant = aucs["Base+GU+AU (AW-MoE)"]
+    # The paper's per-module deltas are 0.1-0.2 AUC points — below our seed
+    # noise (±1 point); the assertion bounds the ablation to that noise band
+    # rather than claiming to resolve the ordering.
+    assert full_variant >= aucs["Base (sum pooling)"] - 0.025, (
+        "the attention-weighted gate must stay within noise of sum pooling"
+    )
+    assert max(aucs.values()) - min(aucs.values()) < 0.05, (
+        "gate-module choice must not change accuracy beyond the noise band"
+    )
+    for label, value in aucs.items():
+        assert value > 0.55, f"{label} must train to useful accuracy"

@@ -1,0 +1,51 @@
+"""Recommendation-mode example: the paper's Amazon-protocol experiment.
+
+There is no query in recommendation, so AW-MoE's gate consumes the target
+item instead (§IV-A2).  This script builds the leave-one-out review dataset,
+trains DIN and AW-MoE & CL, and reports the overall AUC of Table V.
+
+Run:  python examples/recommendation.py
+"""
+
+from dataclasses import replace
+
+from repro.core import ModelConfig, TrainConfig, build_model, train_model
+from repro.data import WorldConfig
+from repro.data.amazon import make_amazon_datasets
+from repro.eval import predict_scores
+from repro.eval.auc import global_auc
+from repro.utils import SeedBank, format_float, print_table
+
+
+def main() -> None:
+    print("Generating synthetic review world (leave-one-out protocol) ...")
+    world_config = replace(WorldConfig.small(), num_users=5000)
+    world, train, test = make_amazon_datasets(world_config, seed=4)
+    print(f"  train: {len(train):,} rows ({train.num_users():,} users)")
+    print(f"  test:  {len(test):,} rows ({test.num_users():,} users, disjoint)")
+
+    bank = SeedBank(31)
+    model_config = ModelConfig.small(task="reco")
+    train_config = TrainConfig(epochs=2, batch_size=256, learning_rate=1.5e-3)
+
+    rows = []
+    for name, label, contrastive in [
+        ("din", "DIN", False),
+        ("aw_moe", "AW-MoE & CL", True),
+    ]:
+        print(f"Training {label} ...")
+        config = train_config.with_contrastive() if contrastive else train_config
+        model = build_model(name, model_config, train.meta, bank.child(label))
+        train_model(model, train, config, seed=6)
+        auc = global_auc(predict_scores(model, test), test.label)
+        rows.append([label, format_float(auc)])
+
+    print_table(
+        ["Model", "overall AUC"],
+        rows,
+        title="Table V protocol — predict each user's last reviewed item",
+    )
+
+
+if __name__ == "__main__":
+    main()

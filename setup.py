@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+This environment has no ``wheel`` package, so PEP 517 editable installs fail
+with ``invalid command 'bdist_wheel'``.  Keeping a ``setup.py`` allows
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``python setup.py develop``) to work offline.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Reproduction of "Attention Weighted Mixture of Experts with Contrastive
+Learning for Personalized Ranking in E-commerce" (Gong et al., ICDE 2023).
+
+Subpackages
+-----------
+``repro.nn``
+    NumPy autograd + neural-network substrate (tensors, layers, optimizers,
+    losses).
+``repro.data``
+    Synthetic JD-search-like and Amazon-review-like dataset generators,
+    dataset/batching pipeline, long-tail splits, sequence augmentations.
+``repro.core``
+    The paper's contribution: input network, attention-weighted gate network,
+    expert networks, AW-MoE, contrastive training, plus the compared
+    baselines (DNN, DIN, Category-MoE) and future-work extensions.
+``repro.eval``
+    Session-grouped AUC / NDCG metrics, significance tests, t-SNE, GBDT
+    feature-importance driver.
+``repro.gbdt``
+    Gradient-boosted decision trees (stands in for XGBoost in Fig. 2).
+``repro.serving``
+    Search-engine / serving-cost / A/B-test simulators (§III-F, §IV-I).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,84 @@
+"""``repro.core`` — the paper's contribution and the compared models.
+
+``build_model(name, ...)`` constructs any model from the paper's comparison
+(Tables II–V) by name: ``"dnn"``, ``"din"``, ``"category_moe"``, ``"aw_moe"``
+(``"aw_moe_cl"`` is the same architecture; the contrastive loss is a training
+flag, see :class:`repro.core.config.TrainConfig`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.activation_unit import ActivationUnit
+from repro.core.aw_moe import AWMoE
+from repro.core.baselines import DIN, DNN, CategoryMoE, MMoE
+from repro.core.config import ModelConfig, TrainConfig
+from repro.core.contrastive import ContrastiveStrategy
+from repro.core.expert import Expert, ExpertPool
+from repro.core.gate_network import GateNetwork
+from repro.core.gate_unit import GateUnit
+from repro.core.input_network import FeatureEmbedder, InputNetwork
+from repro.core.ranking_model import RankingModel
+from repro.core.trainer import train_model
+from repro.data.schema import DatasetMeta
+from repro.utils.registry import Registry
+
+__all__ = [
+    "ActivationUnit",
+    "AWMoE",
+    "CategoryMoE",
+    "ContrastiveStrategy",
+    "DIN",
+    "DNN",
+    "DatasetMeta",
+    "Expert",
+    "ExpertPool",
+    "FeatureEmbedder",
+    "GateNetwork",
+    "GateUnit",
+    "InputNetwork",
+    "MMoE",
+    "ModelConfig",
+    "RankingModel",
+    "TrainConfig",
+    "MODEL_REGISTRY",
+    "build_model",
+    "train_model",
+]
+
+MODEL_REGISTRY = Registry("ranking model")
+
+
+@MODEL_REGISTRY.register("dnn")
+def _build_dnn(config: ModelConfig, meta: DatasetMeta, rng: np.random.Generator) -> DNN:
+    return DNN(config, meta, rng)
+
+
+@MODEL_REGISTRY.register("din")
+def _build_din(config: ModelConfig, meta: DatasetMeta, rng: np.random.Generator) -> DIN:
+    return DIN(config, meta, rng)
+
+
+@MODEL_REGISTRY.register("category_moe")
+def _build_category_moe(
+    config: ModelConfig, meta: DatasetMeta, rng: np.random.Generator
+) -> CategoryMoE:
+    return CategoryMoE(config, meta, rng)
+
+
+@MODEL_REGISTRY.register("aw_moe")
+def _build_aw_moe(config: ModelConfig, meta: DatasetMeta, rng: np.random.Generator) -> AWMoE:
+    return AWMoE(config, meta, rng)
+
+
+@MODEL_REGISTRY.register("mmoe")
+def _build_mmoe(config: ModelConfig, meta: DatasetMeta, rng: np.random.Generator) -> MMoE:
+    return MMoE(config, meta, rng)
+
+
+def build_model(
+    name: str, config: ModelConfig, meta: DatasetMeta, rng: np.random.Generator
+) -> RankingModel:
+    """Instantiate a registered ranking model by name."""
+    return MODEL_REGISTRY.get(name)(config, meta, rng)

@@ -1,0 +1,109 @@
+"""AW-MoE: Attention Weighted Mixture of Experts (paper §III-C, Fig. 3).
+
+The model composes three parts:
+
+1. the **input network** turns the raw impression into ``v_imp`` (Eq. 2–4);
+2. **K expert networks** each score ``v_imp`` (Eq. 5);
+3. the **attention-weighted gate network** reads the behaviour sequence and
+   the query (or target item in reco mode) and emits the per-user expert
+   activation vector ``g`` (Eq. 6–8).
+
+The final prediction is the gate-weighted sum of expert scores passed through
+a sigmoid so that ``ŷ ∈ (0, 1)`` as required by the log-loss of Eq. 1:
+
+    ŷ = σ( Σ_k g_k · s_k )                                (Eq. 9)
+
+The user behaviour sequence is deliberately consumed **twice** — once by the
+input network (feature interactions) and once by the gate network (expert
+activation) — which the paper identifies as its key architectural idea.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import ModelConfig
+from repro.core.expert import ExpertPool
+from repro.core.gate_network import GateNetwork
+from repro.core.input_network import FeatureEmbedder, InputNetwork
+from repro.core.ranking_model import RankingModel
+from repro.data.schema import Batch, DatasetMeta
+from repro.nn import Tensor, no_grad
+
+__all__ = ["AWMoE"]
+
+
+class AWMoE(RankingModel):
+    """The paper's proposed model (Algorithm 1)."""
+
+    supports_contrastive = True
+
+    def __init__(self, config: ModelConfig, meta: DatasetMeta, rng: np.random.Generator) -> None:
+        super().__init__()
+        if config.task != meta.task:
+            raise ValueError(
+                f"model task {config.task!r} does not match dataset task {meta.task!r}"
+            )
+        self.config = config
+        self.embedder = FeatureEmbedder(config, meta, rng)
+        self.input_network = InputNetwork(config, meta, self.embedder, rng, pooling="attention")
+        self.experts = ExpertPool(
+            self.input_network.output_dim,
+            config.expert_hidden,
+            config.num_experts,
+            rng,
+            dropout=config.dropout,
+        )
+        self.gate = GateNetwork(config, meta, self.embedder, rng)
+
+    # ------------------------------------------------------------------
+    # forward passes
+    # ------------------------------------------------------------------
+    def forward(self, batch: Batch) -> Tensor:
+        """Ranking logits ``Σ_k g_k s_k`` with shape ``(B,)``."""
+        logits, _ = self.forward_with_gate(batch)
+        return logits
+
+    def forward_with_gate(self, batch: Batch) -> Tuple[Tensor, Tensor]:
+        """Return ``(logits, g)`` reusing one gate forward pass.
+
+        The trainer uses the returned gate tensor as the anchor
+        representation for the contrastive loss, exactly as the paper
+        imposes the InfoNCE loss on the gate-network output (§III-D).
+        """
+        v_imp = self.input_network(batch)
+        scores = self.experts(v_imp)  # (B, K)
+        gate = self.gate(batch)  # (B, K)
+        logits = (gate * scores).sum(axis=1)
+        return logits, gate
+
+    def gate_vector(self, batch: Batch, mask_override: Optional[np.ndarray] = None) -> Tensor:
+        """Gate output ``g``; with ``mask_override`` this is ``g(u')``."""
+        return self.gate(batch, mask_override=mask_override)
+
+    # ------------------------------------------------------------------
+    # analysis helpers
+    # ------------------------------------------------------------------
+    def gate_outputs(self, batch: Batch) -> np.ndarray:
+        """Gate vectors as plain arrays (used by the Fig. 7 t-SNE study)."""
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                return self.gate(batch).numpy()
+        finally:
+            if was_training:
+                self.train()
+
+    def expert_scores(self, batch: Batch) -> np.ndarray:
+        """Per-expert scores ``s`` as plain arrays (expert-utilization study)."""
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                return self.experts(self.input_network(batch)).numpy()
+        finally:
+            if was_training:
+                self.train()

@@ -1,0 +1,8 @@
+"""Baseline ranking models compared against AW-MoE (paper §IV-C)."""
+
+from repro.core.baselines.category_moe import CategoryMoE
+from repro.core.baselines.din import DIN
+from repro.core.baselines.dnn import DNN
+from repro.core.baselines.mmoe import MMoE
+
+__all__ = ["DNN", "DIN", "CategoryMoE", "MMoE"]

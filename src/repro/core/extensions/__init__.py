@@ -1,0 +1,14 @@
+"""Future-work extensions the paper outlines in §V."""
+
+from repro.core.extensions.adversarial import (
+    expert_correlation_loss,
+    train_adversarial_aw_moe,
+)
+from repro.core.extensions.sparse_gate import SparseGatedAWMoE, sparse_top_k
+
+__all__ = [
+    "expert_correlation_loss",
+    "train_adversarial_aw_moe",
+    "SparseGatedAWMoE",
+    "sparse_top_k",
+]

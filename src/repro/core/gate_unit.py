@@ -1,0 +1,71 @@
+"""The gate unit Θ (paper Fig. 4c).
+
+Structurally the same as the activation unit, except the output is a
+K-dimensional vector: for each behaviour item it produces one activation
+score per expert (Eq. 7), capturing that item's fine-grained evidence about
+which experts suit the current user.  As with the activation unit, the ReLU
+in Fig. 4c is the hidden activation; outputs are linear by default.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn import MLP, Module, Tensor, concat
+
+__all__ = ["GateUnit"]
+
+
+class GateUnit(Module):
+    """Per-item expert-activation scorer: ``a_j = Θ(h_bj, h_q) ∈ R^K``."""
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        num_experts: int,
+        unit_hidden: Tuple[int, ...],
+        rng: np.random.Generator,
+        output_activation: str = "linear",
+    ) -> None:
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.num_experts = num_experts
+        self.mlp = MLP(
+            3 * hidden_dim,
+            list(unit_hidden) + [num_experts],
+            rng,
+            activation="relu",
+            output_activation=output_activation,
+        )
+        if output_activation == "relu":
+            last = getattr(self.mlp, f"fc{len(unit_hidden)}")
+            if last.bias is not None:
+                last.bias.data[:] = 0.1
+
+    def forward(self, h_seq: Tensor, h_key: Tensor, mask: np.ndarray) -> Tensor:
+        """Per-item, per-expert activation scores.
+
+        Parameters
+        ----------
+        h_seq:
+            Gate-network behaviour hiddens ``(B, M, H)``.
+        h_key:
+            Gate-network key hidden (query, or target item in reco mode),
+            shape ``(B, H)``.
+        mask:
+            Float validity mask ``(B, M)``.
+
+        Returns
+        -------
+        Activation scores ``(B, M, K)``, zero at padded positions.
+        """
+        batch, seq_len, hidden = h_seq.shape
+        if h_key.shape != (batch, hidden):
+            raise ValueError(f"key shape {h_key.shape} incompatible with sequence {h_seq.shape}")
+        key = h_key.expand_dims(1).broadcast_to((batch, seq_len, hidden))
+        pairwise = concat([h_seq, h_seq * key, key], axis=-1)
+        scores = self.mlp(pairwise)
+        mask3 = np.asarray(mask, dtype=np.float32)[:, :, None]
+        return scores * mask3

@@ -1,0 +1,60 @@
+"""Common interface for all compared ranking models.
+
+Every model consumes the batch contract of ``repro.data.schema`` and produces
+a logit per impression; ``sigmoid(logit)`` is the predicted CTR/CVR ``ŷ``
+fed into the log-loss of Eq. 1.  Models that expose a gate vector (AW-MoE)
+additionally support the contrastive objective.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data.schema import Batch
+from repro.nn import Module, Tensor, no_grad
+
+__all__ = ["RankingModel"]
+
+
+class RankingModel(Module):
+    """Base class: ``forward(batch) -> logits`` plus prediction helpers."""
+
+    #: Whether the model exposes ``gate_vector`` for the contrastive loss.
+    supports_contrastive: bool = False
+
+    def forward(self, batch: Batch) -> Tensor:
+        raise NotImplementedError
+
+    def predict_logits(self, batch: Batch) -> np.ndarray:
+        """Raw logits without building an autograd graph."""
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                return self.forward(batch).numpy()
+        finally:
+            if was_training:
+                self.train()
+
+    def predict_proba(self, batch: Batch) -> np.ndarray:
+        """Predicted interaction probabilities ``ŷ = σ(logit)``."""
+        logits = self.predict_logits(batch)
+        return 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+
+    # ------------------------------------------------------------------
+    # contrastive hooks (overridden by AW-MoE)
+    # ------------------------------------------------------------------
+    def gate_vector(self, batch: Batch, mask_override: Optional[np.ndarray] = None) -> Tensor:
+        """Gate-network output ``g`` (models without a gate raise)."""
+        raise NotImplementedError(f"{type(self).__name__} has no gate network")
+
+    def forward_with_gate(self, batch: Batch) -> Tuple[Tensor, Optional[Tensor]]:
+        """Return ``(logits, gate)``; gate is ``None`` for gateless models.
+
+        The default implementation discards the gate; AW-MoE overrides this
+        to reuse a single gate forward pass for both ranking and the
+        contrastive loss.
+        """
+        return self.forward(batch), None

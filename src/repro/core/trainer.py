@@ -1,0 +1,114 @@
+"""End-to-end training loop for every compared ranking model.
+
+Implements the paper's objective ``L = L_rank + λ·L_cl`` (Eq. 11) with AdamW,
+mini-batch shuffling, optional gradient clipping, and deterministic seeding.
+The same trainer handles gateless baselines (λ term skipped) and AW-MoE with
+or without contrastive learning, so Tables II–V differ only in the model and
+the ``contrastive`` flag — as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import TrainConfig
+from repro.core.contrastive import ContrastiveStrategy
+from repro.core.ranking_model import RankingModel
+from repro.data.dataset import RankingDataset, iterate_batches
+from repro.nn import AdamW, bce_with_logits, clip_grad_norm
+from repro.utils.logging import RunLog
+from repro.utils.rng import SeedBank
+
+__all__ = ["train_model"]
+
+
+def train_model(
+    model: RankingModel,
+    train_set: RankingDataset,
+    config: TrainConfig,
+    seed: int = 0,
+    log: Optional[RunLog] = None,
+) -> RunLog:
+    """Train ``model`` in place; returns the per-step metric log.
+
+    Contrastive learning is applied only when ``config.contrastive`` is set
+    *and* the model exposes a gate network (AW-MoE); requesting it on a
+    gateless baseline raises, making accidental mis-benchmarks loud.
+    """
+    if config.contrastive and not model.supports_contrastive:
+        raise TypeError(
+            f"contrastive training requested but {type(model).__name__} has no gate network"
+        )
+    bank = SeedBank(seed)
+    shuffle_rng = bank.child("shuffle")
+    cl_rng = bank.child("contrastive")
+    optimizers = _build_optimizers(model, config)
+    strategy = ContrastiveStrategy(
+        mask_prob=config.mask_prob,
+        num_negatives=config.num_negatives,
+        weight=config.cl_weight,
+        augmentation=config.augmentation,
+    )
+    if log is None:
+        log = RunLog(name=type(model).__name__, echo_every=config.log_every)
+
+    model.train()
+    step = 0
+    for epoch in range(config.epochs):
+        for batch in iterate_batches(
+            train_set, config.batch_size, rng=shuffle_rng, drop_last=True
+        ):
+            step += 1
+            if config.contrastive:
+                logits, gate = model.forward_with_gate(batch)
+                rank_loss = bce_with_logits(logits, batch["label"])
+                cl_loss = strategy.loss(model, batch, gate, cl_rng)
+                loss = rank_loss + cl_loss
+                extra = {"cl_loss": cl_loss.item()}
+            else:
+                logits = model.forward(batch)
+                rank_loss = bce_with_logits(logits, batch["label"])
+                loss = rank_loss
+                extra = {}
+            for optimizer in optimizers:
+                optimizer.zero_grad()
+            loss.backward()
+            if config.grad_clip:
+                clip_grad_norm(model.parameters(), config.grad_clip)
+            for optimizer in optimizers:
+                optimizer.step()
+            log.log(step, loss=loss.item(), rank_loss=rank_loss.item(), epoch=epoch, **extra)
+    model.eval()
+    return log
+
+
+def _build_optimizers(model: RankingModel, config: TrainConfig) -> list:
+    """AdamW over all parameters; the gate network may get its own rate.
+
+    A higher gate learning rate (``gate_lr_multiplier``) accelerates the
+    expert-specialization / gate-routing co-adaptation that billion-scale
+    training achieves through sheer data volume.
+    """
+    multiplier = config.gate_lr_multiplier
+    gate = getattr(model, "gate", None)
+    if multiplier == 1.0 or gate is None:
+        return [
+            AdamW(model.parameters(), lr=config.learning_rate, weight_decay=config.weight_decay)
+        ]
+    # The embedding tables are shared between the gate and the input network
+    # (§III-C2); they stay in the base group so they get the base rate.
+    shared = getattr(model, "embedder", None)
+    shared_ids = {id(p) for p in shared.parameters()} if shared is not None else set()
+    gate_params = [p for p in gate.parameters() if id(p) not in shared_ids]
+    gate_ids = {id(p) for p in gate_params}
+    rest = [p for p in model.parameters() if id(p) not in gate_ids]
+    return [
+        AdamW(rest, lr=config.learning_rate, weight_decay=config.weight_decay),
+        AdamW(
+            gate_params,
+            lr=config.learning_rate * multiplier,
+            weight_decay=config.weight_decay,
+        ),
+    ]

@@ -1,0 +1,47 @@
+"""``repro.data`` — dataset generators, batching, splits, augmentations."""
+
+from repro.data.dataset import RankingDataset, iterate_batches
+from repro.data.masking import (
+    augment_mask,
+    random_crop,
+    random_mask,
+    random_reorder,
+    sample_in_batch_negatives,
+)
+from repro.data.schema import FEATURE_NAMES, FIG2_FEATURES, Batch, DatasetMeta
+from repro.data.synthetic import (
+    AGE_GROUPS,
+    ARCHETYPES,
+    SearchLog,
+    World,
+    WorldConfig,
+    build_test_dataset,
+    build_train_dataset,
+    generate_world,
+    make_search_datasets,
+    simulate_search_log,
+)
+
+__all__ = [
+    "RankingDataset",
+    "iterate_batches",
+    "augment_mask",
+    "random_crop",
+    "random_mask",
+    "random_reorder",
+    "sample_in_batch_negatives",
+    "FEATURE_NAMES",
+    "FIG2_FEATURES",
+    "Batch",
+    "DatasetMeta",
+    "AGE_GROUPS",
+    "ARCHETYPES",
+    "SearchLog",
+    "World",
+    "WorldConfig",
+    "build_test_dataset",
+    "build_train_dataset",
+    "generate_world",
+    "make_search_datasets",
+    "simulate_search_log",
+]

@@ -1,0 +1,124 @@
+"""Dataset schema shared by generators, models, and the evaluation stack.
+
+An *impression* is one (user, item, context) row (§III-A).  A batch is a plain
+dict of NumPy arrays — integer id arrays for embedding lookups, float arrays
+for dense features — matching the model input contract documented on
+:class:`repro.core.aw_moe.AWMoE`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["FEATURE_NAMES", "FIG2_FEATURES", "DatasetMeta", "Batch", "batch_size_of"]
+
+#: Dense ("other") feature vector layout, in order.  The six starred names are
+#: the features plotted in the paper's Fig. 2.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "user_log_activity",
+    "age_young",
+    "age_mid",
+    "age_elderly",
+    "price",  # * Fig. 2 "Price"
+    "sales",  # * Fig. 2 "Sales"
+    "popularity",  # * Fig. 2 "Popularity"
+    "quality",
+    "query_item_match",
+    "query_specificity",
+    "item_click_cnt",  # * Fig. 2 "Item_click_cnt"
+    "brand_click_cnt",
+    "shop_click_cnt",  # * Fig. 2 "Shop_click_cnt"
+    "category_click_cnt",
+    "brand_click_time_diff",  # * Fig. 2 "Brand_click_time_diff"
+    "price_gap",
+)
+
+#: The six features the paper's Fig. 2 reports, in the paper's order.
+FIG2_FEATURES: Tuple[str, ...] = (
+    "sales",
+    "popularity",
+    "price",
+    "item_click_cnt",
+    "brand_click_time_diff",
+    "shop_click_cnt",
+)
+
+#: Per-item dense profile features attached to behaviour/target items (real
+#: ranking systems embed item side-information alongside the id; these are
+#: what the latent archetypes and style preferences react to).
+ITEM_DENSE_NAMES: Tuple[str, ...] = ("price", "popularity", "quality", "style")
+
+Batch = Dict[str, np.ndarray]
+
+#: Array keys every ranking batch must carry.
+BATCH_KEYS: Tuple[str, ...] = (
+    "behavior_items",
+    "behavior_categories",
+    "behavior_dense",
+    "behavior_mask",
+    "target_item",
+    "target_category",
+    "target_dense",
+    "query",
+    "query_category",
+    "other_features",
+    "label",
+    "session_id",
+    "user_id",
+)
+
+
+@dataclass(frozen=True)
+class DatasetMeta:
+    """Vocabulary sizes and shapes a model needs to size its embeddings.
+
+    Id 0 is reserved for padding in every vocabulary.
+    """
+
+    num_items: int
+    num_categories: int
+    num_queries: int
+    num_brands: int
+    num_shops: int
+    max_seq_len: int
+    feature_names: Tuple[str, ...] = FEATURE_NAMES
+    item_dense_names: Tuple[str, ...] = ITEM_DENSE_NAMES
+    task: str = "search"  # "search" (query available) or "reco" (no query)
+
+    @property
+    def num_features(self) -> int:
+        return len(self.feature_names)
+
+    @property
+    def num_item_dense(self) -> int:
+        return len(self.item_dense_names)
+
+    def feature_index(self, name: str) -> int:
+        """Index of a dense feature by name; raises on unknown names."""
+        try:
+            return self.feature_names.index(name)
+        except ValueError:
+            raise KeyError(f"unknown feature {name!r}; known: {self.feature_names}")
+
+
+def batch_size_of(batch: Batch) -> int:
+    """Number of impressions in a batch."""
+    return int(batch["label"].shape[0])
+
+
+def validate_batch(batch: Batch) -> None:
+    """Raise if a batch is missing keys or has inconsistent shapes."""
+    missing = [key for key in BATCH_KEYS if key not in batch]
+    if missing:
+        raise KeyError(f"batch missing keys: {missing}")
+    n = batch_size_of(batch)
+    for key in BATCH_KEYS:
+        if batch[key].shape[0] != n:
+            raise ValueError(
+                f"batch key {key!r} has leading dim {batch[key].shape[0]}, expected {n}"
+            )
+    if batch["behavior_items"].shape != batch["behavior_mask"].shape:
+        raise ValueError("behavior_items and behavior_mask shapes differ")

@@ -1,0 +1,44 @@
+"""Test-set splits (paper §IV-A1, Table I).
+
+From the full test set the paper selects two long-tail user subsets:
+
+* **Long-tail test set 1** — users with few historical behaviours;
+* **Long-tail test set 2** — elderly users (who in our world, as in the
+  paper's, have systematically shorter histories).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.data.dataset import RankingDataset
+from repro.data.schema import FEATURE_NAMES
+
+__all__ = ["long_tail_by_history", "long_tail_elderly", "standard_test_splits"]
+
+_ELDERLY_FEATURE = FEATURE_NAMES.index("age_elderly")
+
+
+def long_tail_by_history(dataset: RankingDataset, max_behaviors: int = 3) -> RankingDataset:
+    """Impressions of users with at most ``max_behaviors`` history items."""
+    lengths = dataset.behavior_lengths()
+    return dataset.subset(np.flatnonzero(lengths <= max_behaviors))
+
+
+def long_tail_elderly(dataset: RankingDataset) -> RankingDataset:
+    """Impressions of elderly users (age one-hot from the dense features)."""
+    elderly = dataset.other_features[:, _ELDERLY_FEATURE] == 1.0
+    return dataset.subset(np.flatnonzero(elderly))
+
+
+def standard_test_splits(
+    test: RankingDataset, max_behaviors: int = 3
+) -> Dict[str, RankingDataset]:
+    """The paper's three evaluation sets, keyed like Table I's columns."""
+    return {
+        "full": test,
+        "long_tail_1": long_tail_by_history(test, max_behaviors=max_behaviors),
+        "long_tail_2": long_tail_elderly(test),
+    }

@@ -1,0 +1,42 @@
+"""Dataset statistics in the layout of the paper's Table I."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.data.dataset import RankingDataset
+
+__all__ = ["dataset_statistics", "table1_rows"]
+
+_ROW_ORDER: Tuple[str, ...] = (
+    "# Sessions",
+    "# Users",
+    "# Queries",
+    "# Examples",
+    "Pos : Neg",
+    "# Examples / # Sessions",
+)
+
+
+def dataset_statistics(dataset: RankingDataset) -> Dict[str, str]:
+    """One Table I column for one dataset split."""
+    ratio = dataset.pos_neg_ratio()
+    return {
+        "# Sessions": f"{dataset.num_sessions():,}",
+        "# Users": f"{dataset.num_users():,}",
+        "# Queries": f"{dataset.num_queries():,}",
+        "# Examples": f"{len(dataset):,}",
+        "Pos : Neg": f"1 : {ratio:.0f}" if ratio >= 1.5 else "1 : 1",
+        "# Examples / # Sessions": f"{dataset.examples_per_session():.1f}",
+    }
+
+
+def table1_rows(splits: Dict[str, RankingDataset]) -> List[List[str]]:
+    """Rows of Table I: one statistic per row, one split per column."""
+    columns = {name: dataset_statistics(ds) for name, ds in splits.items()}
+    rows: List[List[str]] = []
+    for statistic in _ROW_ORDER:
+        row = [statistic]
+        row.extend(columns[name][statistic] for name in splits)
+        rows.append(row)
+    return rows

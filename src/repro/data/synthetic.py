@@ -1,0 +1,709 @@
+"""Synthetic JD-search-like world generator.
+
+The paper's in-house dataset is proprietary, so this module builds a
+generative stand-in that plants exactly the structure the paper's method
+exploits:
+
+* **Personalized feature-interaction patterns** — every user has a latent
+  *archetype* (price-sensitive, brand-loyal, trend-follower, quality-seeker).
+  The ground-truth purchase probability combines features *differently per
+  archetype*, and the archetype is **not** exposed as an input feature: it is
+  only recoverable from the user's behaviour sequence.  A single shared FFN
+  therefore cannot represent the label function well, while a mixture whose
+  gate reads the behaviour sequence (AW-MoE) can — this is Fig. 1's argument.
+* **Category-new vs category-old behaviour (Fig. 2)** — when the user has no
+  history in the target item's category, the label depends on popularity and
+  price (following the general trend); with history it depends on the
+  archetype-specific and two-sided features.  This mirrors the paper's
+  XGBoost feature-importance observation.
+* **Long-tail users (§III-D)** — activity is heavy-tailed and correlated with
+  an age group; elderly users have systematically shorter histories.  This
+  yields the two long-tail test sets of Tables III–IV.
+* **Style affinity** — every item has a 1-D style coordinate; every user a
+  preferred style that shapes their history.  The label rewards target items
+  whose style matches the user's, and the preference is *only* recoverable
+  from the behaviour sequence (it is not a cross feature) — this is the
+  signal target-aware attention (DIN, Eq. 3) extracts better than sum
+  pooling.
+* **Per-category interaction weights** — the popularity/price effects are
+  modulated by category-specific weights, giving the category-specialized
+  experts of Category-MoE [34] their advantage over single-FFN models, as in
+  the paper's Tables II–V ordering.
+
+Everything is deterministic given the ``numpy.random.Generator`` passed in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import RankingDataset
+from repro.data.schema import FEATURE_NAMES, DatasetMeta
+
+__all__ = [
+    "ARCHETYPES",
+    "AGE_GROUPS",
+    "WorldConfig",
+    "World",
+    "SearchLog",
+    "generate_world",
+    "simulate_search_log",
+    "build_train_dataset",
+    "build_test_dataset",
+    "make_search_datasets",
+]
+
+#: Latent user archetypes; the ground-truth label model weights features
+#: differently per archetype (the personalization signal AW-MoE's gate learns).
+ARCHETYPES: Tuple[str, ...] = ("price_sensitive", "brand_loyal", "trend_follower", "quality_seeker")
+
+#: Age groups; "elderly" users have shorter histories (long-tail test set 2).
+AGE_GROUPS: Tuple[str, ...] = ("young", "mid", "elderly")
+
+_PRICE, _BRAND, _TREND, _QUALITY = range(4)
+_YOUNG, _MID, _ELDERLY = range(3)
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Size and behaviour knobs of the synthetic world."""
+
+    num_users: int = 3000
+    num_items: int = 800
+    num_categories: int = 20
+    brands_per_category: int = 6
+    num_shops: int = 120
+    num_query_specificities: int = 3
+    max_seq_len: int = 20
+    #: Mean history length by age group (heavy-tailed around these).
+    mean_history: Tuple[float, float, float] = (10.0, 8.0, 2.0)
+    #: Fraction of users with empty histories ("new users" in Fig. 7).
+    new_user_fraction: float = 0.08
+    #: Age group probabilities (young, mid, elderly).
+    age_probs: Tuple[float, float, float] = (0.35, 0.45, 0.20)
+    #: Candidates shown per search session.
+    items_per_session: int = 12
+    #: Global intercept of the label model; tuned for ~10% positive rate.
+    label_bias: float = -4.4
+    #: Std of the label-model noise.
+    label_noise: float = 0.3
+
+    @staticmethod
+    def unit() -> "WorldConfig":
+        """Tiny world for unit tests."""
+        return WorldConfig(
+            num_users=200,
+            num_items=120,
+            num_categories=8,
+            brands_per_category=3,
+            num_shops=20,
+            max_seq_len=8,
+            items_per_session=8,
+        )
+
+    @staticmethod
+    def small() -> "WorldConfig":
+        """Benchmark/example scale (CPU-friendly)."""
+        return WorldConfig()
+
+    @staticmethod
+    def full() -> "WorldConfig":
+        """Larger scale for the recorded EXPERIMENTS.md runs."""
+        return WorldConfig(
+            num_users=30000,
+            num_items=5000,
+            num_categories=40,
+            brands_per_category=8,
+            num_shops=600,
+            max_seq_len=30,
+        )
+
+
+@dataclass
+class World:
+    """Generated entities; all entity ids are 0-based (padding added later)."""
+
+    config: WorldConfig
+    # items
+    item_category: np.ndarray  # (I,) int
+    item_brand: np.ndarray  # (I,) int, global brand ids
+    item_shop: np.ndarray  # (I,) int
+    item_price_pct: np.ndarray  # (I,) float in [0, 1], percentile within category
+    item_popularity: np.ndarray  # (I,) float in [0, 1]
+    item_sales: np.ndarray  # (I,) float in [0, 1], noisy proxy of popularity
+    item_quality: np.ndarray  # (I,) float in [0, 1]
+    item_style: np.ndarray  # (I,) float in [0, 1], 1-D style coordinate
+    # categories
+    category_trend_weight: np.ndarray  # (C,) popularity-effect modulation
+    category_price_weight: np.ndarray  # (C,) price-effect modulation
+    # users
+    user_archetype: np.ndarray  # (U,) int in [0, 4)
+    user_age: np.ndarray  # (U,) int in [0, 3)
+    user_interests: np.ndarray  # (U, C) rows sum to 1
+    user_style: np.ndarray  # (U,) float in [0, 1], preferred style
+    histories: List[np.ndarray]  # per user: chronological item ids, oldest first
+
+    @property
+    def num_items(self) -> int:
+        return len(self.item_category)
+
+    @property
+    def num_users(self) -> int:
+        return len(self.user_archetype)
+
+    @property
+    def num_categories(self) -> int:
+        return self.config.num_categories
+
+    @property
+    def num_brands(self) -> int:
+        return self.config.num_categories * self.config.brands_per_category
+
+    def history_length(self, user: int) -> int:
+        return len(self.histories[user])
+
+    def meta(self) -> DatasetMeta:
+        """Dataset metadata; +1 everywhere for the padding id 0."""
+        cfg = self.config
+        return DatasetMeta(
+            num_items=self.num_items + 1,
+            num_categories=cfg.num_categories + 1,
+            num_queries=cfg.num_categories * cfg.num_query_specificities + 1,
+            num_brands=self.num_brands + 1,
+            num_shops=cfg.num_shops + 1,
+            max_seq_len=cfg.max_seq_len,
+            task="search",
+        )
+
+
+def generate_world(config: WorldConfig, rng: np.random.Generator) -> World:
+    """Sample a full world: items, users, and user behaviour histories."""
+    cfg = config
+    n_items, n_cats = cfg.num_items, cfg.num_categories
+
+    item_category = rng.integers(0, n_cats, size=n_items)
+    brand_within = rng.integers(0, cfg.brands_per_category, size=n_items)
+    item_brand = item_category * cfg.brands_per_category + brand_within
+    item_shop = rng.integers(0, cfg.num_shops, size=n_items)
+
+    # Price percentile within each category; quality weakly tracks price.
+    item_price_pct = np.empty(n_items)
+    for cat in range(n_cats):
+        members = np.flatnonzero(item_category == cat)
+        if members.size:
+            ranks = rng.permutation(members.size)
+            item_price_pct[members] = (ranks + 0.5) / members.size
+    item_quality = np.clip(
+        0.55 * item_price_pct + 0.45 * rng.beta(5, 2, size=n_items), 0.0, 1.0
+    )
+
+    # Zipf-like popularity within category.
+    item_popularity = np.empty(n_items)
+    for cat in range(n_cats):
+        members = np.flatnonzero(item_category == cat)
+        if members.size:
+            ranks = rng.permutation(members.size) + 1
+            pop = 1.0 / ranks ** 0.8
+            item_popularity[members] = pop / pop.max()
+    item_sales = np.clip(item_popularity + rng.normal(0, 0.08, size=n_items), 0.0, 1.0)
+    item_style = rng.random(n_items)
+
+    category_trend_weight = rng.uniform(0.5, 1.5, size=n_cats)
+    category_price_weight = rng.uniform(0.5, 1.5, size=n_cats)
+
+    n_users = cfg.num_users
+    user_archetype = rng.integers(0, len(ARCHETYPES), size=n_users)
+    user_age = rng.choice(len(AGE_GROUPS), size=n_users, p=cfg.age_probs)
+    user_interests = rng.dirichlet(np.full(n_cats, 0.3), size=n_users)
+    user_style = rng.random(n_users)
+
+    histories = _sample_histories(
+        cfg, rng, user_archetype, user_age, user_interests, user_style,
+        item_category, item_brand, item_price_pct, item_popularity, item_quality,
+        item_style,
+    )
+
+    return World(
+        config=cfg,
+        item_category=item_category,
+        item_brand=item_brand,
+        item_shop=item_shop,
+        item_price_pct=item_price_pct,
+        item_popularity=item_popularity,
+        item_sales=item_sales,
+        item_quality=item_quality,
+        item_style=item_style,
+        category_trend_weight=category_trend_weight,
+        category_price_weight=category_price_weight,
+        user_archetype=user_archetype,
+        user_age=user_age,
+        user_interests=user_interests,
+        user_style=user_style,
+        histories=histories,
+    )
+
+
+def _sample_histories(
+    cfg: WorldConfig,
+    rng: np.random.Generator,
+    archetype: np.ndarray,
+    age: np.ndarray,
+    interests: np.ndarray,
+    user_style: np.ndarray,
+    item_category: np.ndarray,
+    item_brand: np.ndarray,
+    item_price_pct: np.ndarray,
+    item_popularity: np.ndarray,
+    item_quality: np.ndarray,
+    item_style: np.ndarray,
+) -> List[np.ndarray]:
+    """Sample per-user chronological behaviour sequences.
+
+    Item choice within a category follows the user's archetype and style, so
+    the sequence *reveals* both latent traits: cheap items for
+    price-sensitive users, one dominant brand for brand-loyal users, popular
+    items for trend-followers, high-quality items for quality-seekers — all
+    concentrated near the user's style coordinate.
+    """
+    n_cats = cfg.num_categories
+    by_category = [np.flatnonzero(item_category == cat) for cat in range(n_cats)]
+    histories: List[np.ndarray] = []
+    means = np.asarray(cfg.mean_history)
+
+    for user in range(len(archetype)):
+        if rng.random() < cfg.new_user_fraction:
+            histories.append(np.empty(0, dtype=np.int64))
+            continue
+        length = int(min(cfg.max_seq_len, 1 + rng.poisson(max(means[age[user]] - 1, 0.1))))
+        chosen: List[int] = []
+        favourite_brand: Dict[int, int] = {}
+        for _ in range(length):
+            cat = int(rng.choice(n_cats, p=interests[user]))
+            members = by_category[cat]
+            if members.size == 0:
+                continue
+            logits = -4.0 * np.abs(item_style[members] - user_style[user])
+            kind = archetype[user]
+            if kind == _PRICE:
+                logits = logits - 3.0 * item_price_pct[members]
+            elif kind == _BRAND:
+                if cat in favourite_brand:
+                    logits = logits + 2.5 * (item_brand[members] == favourite_brand[cat])
+            elif kind == _TREND:
+                logits = logits + 3.0 * item_popularity[members]
+            else:  # quality seeker
+                logits = logits + 3.0 * item_quality[members]
+            probs = np.exp(logits - logits.max())
+            probs /= probs.sum()
+            pick = int(rng.choice(members, p=probs))
+            chosen.append(pick)
+            if kind == _BRAND and cat not in favourite_brand:
+                favourite_brand[cat] = int(item_brand[pick])
+        histories.append(np.asarray(chosen, dtype=np.int64))
+    return histories
+
+
+# ----------------------------------------------------------------------
+# session simulation
+# ----------------------------------------------------------------------
+@dataclass
+class SearchLog:
+    """Impression-level log of simulated search sessions (pre-sampling)."""
+
+    world: World
+    session_id: np.ndarray  # (N,)
+    user_id: np.ndarray  # (N,)
+    query: np.ndarray  # (N,) 1-based query ids
+    query_category: np.ndarray  # (N,) 1-based category ids
+    target_item: np.ndarray  # (N,) 1-based item ids
+    label: np.ndarray  # (N,) float {0, 1}
+    other_features: np.ndarray  # (N, F) float32
+    behavior_items: np.ndarray  # (N, M) 1-based, 0-padded
+    behavior_categories: np.ndarray  # (N, M)
+    behavior_dense: np.ndarray  # (N, M, D)
+    behavior_mask: np.ndarray  # (N, M)
+
+    def __len__(self) -> int:
+        return len(self.label)
+
+
+class _UserState:
+    """Cached per-user history arrays for fast cross-feature computation."""
+
+    __slots__ = ("items", "categories", "brands", "shops", "prices", "length")
+
+    def __init__(self, world: World, user: int) -> None:
+        history = world.histories[user]
+        self.items = history
+        self.categories = world.item_category[history]
+        self.brands = world.item_brand[history]
+        self.shops = world.item_shop[history]
+        self.prices = world.item_price_pct[history]
+        self.length = len(history)
+
+
+def _cross_features(state: _UserState, world: World, candidates: np.ndarray) -> Dict[str, np.ndarray]:
+    """Two-sided user-item features for a session's candidate set (C,)."""
+    c = candidates.size
+    if state.length == 0:
+        zero = np.zeros(c)
+        return {
+            "item_click_cnt": zero,
+            "brand_click_cnt": zero.copy(),
+            "shop_click_cnt": zero.copy(),
+            "category_click_cnt": zero.copy(),
+            "brand_click_time_diff": np.ones(c),
+            "price_gap": zero.copy(),
+        }
+    cand_brand = world.item_brand[candidates][:, None]
+    cand_shop = world.item_shop[candidates][:, None]
+    cand_cat = world.item_category[candidates][:, None]
+    cand_item = candidates[:, None]
+
+    item_hits = state.items[None, :] == cand_item  # (C, H)
+    brand_hits = state.brands[None, :] == cand_brand
+    shop_hits = state.shops[None, :] == cand_shop
+    cat_hits = state.categories[None, :] == cand_cat
+
+    h = state.length
+    # Recency of the last same-brand interaction, normalized to [0, 1];
+    # 1.0 when the brand never occurs (matches "Brand_click_time_diff").
+    positions = np.arange(h)
+    last_brand_pos = np.where(brand_hits.any(axis=1), (brand_hits * (positions + 1)).max(axis=1) - 1, -1)
+    brand_time_diff = np.where(last_brand_pos >= 0, (h - 1 - last_brand_pos) / max(h, 1), 1.0)
+
+    cat_counts = cat_hits.sum(axis=1)
+    with np.errstate(invalid="ignore"):
+        mean_cat_price = np.where(
+            cat_counts > 0,
+            (cat_hits * state.prices[None, :]).sum(axis=1) / np.maximum(cat_counts, 1),
+            0.0,
+        )
+    price_gap = np.where(cat_counts > 0, world.item_price_pct[candidates] - mean_cat_price, 0.0)
+
+    return {
+        "item_click_cnt": item_hits.sum(axis=1).astype(float),
+        "brand_click_cnt": brand_hits.sum(axis=1).astype(float),
+        "shop_click_cnt": shop_hits.sum(axis=1).astype(float),
+        "category_click_cnt": cat_counts.astype(float),
+        "brand_click_time_diff": brand_time_diff,
+        "price_gap": price_gap,
+    }
+
+
+def _true_logits(
+    world: World,
+    user: int,
+    candidates: np.ndarray,
+    query_cat: int,
+    cross: Dict[str, np.ndarray],
+) -> np.ndarray:
+    """Ground-truth purchase log-odds for each candidate (the label model).
+
+    Category-new impressions (no history in the item's category) are driven
+    by popularity and price — with *category-specific* weights (the structure
+    Category-MoE exploits); category-old impressions by the archetype's
+    preferred features plus two-sided history features (the structure
+    AW-MoE's user-oriented gate exploits) — matching the paper's Fig. 2.
+    A style-match term rewards items near the user's latent style, which is
+    only recoverable from the behaviour sequence (DIN's attention signal).
+    """
+    cfg = world.config
+    cats = world.item_category[candidates]
+    interest = world.user_interests[user, cats]
+    rel = (cats == query_cat).astype(float)
+    pop = world.item_popularity[candidates]
+    price = world.item_price_pct[candidates]
+    quality = world.item_quality[candidates]
+    style_match = 1.0 - 3.0 * np.abs(world.item_style[candidates] - world.user_style[user])
+
+    z = cfg.label_bias + 1.4 * rel + 1.2 * interest + 1.2 * style_match
+
+    cat_old = cross["category_click_cnt"] > 0
+    # Category-new behaviour: follow the trend, anchor on price; effect sizes
+    # are modulated per category.
+    trend_w = world.category_trend_weight[cats]
+    price_w = world.category_price_weight[cats]
+    z = z + np.where(cat_old, 0.0, 1.7 * trend_w * pop - 1.1 * price_w * (price - 0.5))
+
+    # Category-old behaviour: archetype-specific interactions.
+    kind = world.user_archetype[user]
+    if kind == _PRICE:
+        habit = 2.6 * (0.5 - price) * price_w
+    elif kind == _BRAND:
+        brand_seen = cross["brand_click_cnt"] > 0
+        habit = 2.2 * brand_seen + 0.8 * np.minimum(cross["brand_click_cnt"], 4) / 4.0
+        habit = habit - 0.6 * np.where(brand_seen, cross["brand_click_time_diff"], 0.0)
+    elif kind == _TREND:
+        habit = 2.6 * pop * trend_w
+    else:
+        habit = 2.6 * (quality - 0.5)
+    two_sided = (
+        0.8 * np.minimum(cross["item_click_cnt"], 2) / 2.0
+        + 0.4 * np.minimum(cross["shop_click_cnt"], 4) / 4.0
+    )
+    z = z + np.where(cat_old, habit + two_sided, 0.0)
+    return z
+
+
+def _item_dense(world: World, items: np.ndarray) -> np.ndarray:
+    """Per-item dense profile (price, popularity, quality, style)."""
+    return np.stack(
+        [
+            world.item_price_pct[items],
+            world.item_popularity[items],
+            world.item_quality[items],
+            world.item_style[items],
+        ],
+        axis=-1,
+    ).astype(np.float32)
+
+
+def _encode_behavior(
+    world: World, user: int, max_len: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Left-aligned, 0-padded (items, categories, dense, mask) rows."""
+    history = world.histories[user][-max_len:]
+    items = np.zeros(max_len, dtype=np.int32)
+    cats = np.zeros(max_len, dtype=np.int32)
+    dense = np.zeros((max_len, 4), dtype=np.float32)
+    mask = np.zeros(max_len, dtype=np.float32)
+    n = len(history)
+    if n:
+        items[:n] = history + 1
+        cats[:n] = world.item_category[history] + 1
+        dense[:n] = _item_dense(world, history)
+        mask[:n] = 1.0
+    return items, cats, dense, mask
+
+
+def simulate_search_log(
+    world: World,
+    num_sessions: int,
+    rng: np.random.Generator,
+    start_session_id: int = 0,
+) -> SearchLog:
+    """Simulate search sessions: query issue, candidate retrieval, purchases.
+
+    Users are sampled proportionally to activity (active users search more,
+    as in a real log); the retrieval step is popularity-biased within the
+    query category, mimicking an engine's candidate generator.
+    """
+    cfg = world.config
+    n_users = world.num_users
+    lengths = np.asarray([len(h) for h in world.histories], dtype=float)
+    user_probs = (lengths + 1.0) / (lengths + 1.0).sum()
+
+    n_cats = cfg.num_categories
+    by_category = [np.flatnonzero(world.item_category == cat) for cat in range(n_cats)]
+    all_items = np.arange(world.num_items)
+
+    rows_session: List[int] = []
+    rows_user: List[int] = []
+    rows_query: List[int] = []
+    rows_query_cat: List[int] = []
+    rows_item: List[np.ndarray] = []
+    rows_label: List[np.ndarray] = []
+    rows_features: List[np.ndarray] = []
+    behavior_rows: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+
+    states: Dict[int, _UserState] = {}
+    feature_count = len(FEATURE_NAMES)
+
+    for s in range(num_sessions):
+        user = int(rng.choice(n_users, p=user_probs))
+        state = states.get(user)
+        if state is None:
+            state = _UserState(world, user)
+            states[user] = state
+
+        # Query: mostly driven by interests, with exploration.
+        if rng.random() < 0.7:
+            query_cat = int(rng.choice(n_cats, p=world.user_interests[user]))
+        else:
+            query_cat = int(rng.integers(0, n_cats))
+        spec = int(rng.integers(0, cfg.num_query_specificities))
+        query_id = query_cat * cfg.num_query_specificities + spec + 1
+
+        # Retrieval: popularity-biased within category, a few off-category.
+        members = by_category[query_cat]
+        k_in = min(members.size, max(1, int(round(cfg.items_per_session * 0.9))))
+        weights = world.item_popularity[members] ** 0.7 + 1e-3
+        weights = weights / weights.sum()
+        in_cat = rng.choice(members, size=k_in, replace=False, p=weights)
+        k_out = cfg.items_per_session - k_in
+        if k_out > 0:
+            out_cat = rng.choice(all_items, size=k_out, replace=False)
+            candidates = np.unique(np.concatenate([in_cat, out_cat]))
+        else:
+            candidates = np.unique(in_cat)
+
+        cross = _cross_features(state, world, candidates)
+        logits = _true_logits(world, user, candidates, query_cat, cross)
+        logits = logits + rng.normal(0, cfg.label_noise, size=logits.size)
+        labels = (rng.random(logits.size) < 1.0 / (1.0 + np.exp(-logits))).astype(np.float32)
+
+        features = _impression_features(world, user, candidates, query_cat, spec, cross, state)
+        assert features.shape[1] == feature_count
+
+        rows_session.append(start_session_id + s)
+        rows_user.append(user)
+        rows_query.append(query_id)
+        rows_query_cat.append(query_cat + 1)
+        rows_item.append(candidates + 1)
+        rows_label.append(labels)
+        rows_features.append(features)
+        behavior_rows.append(_encode_behavior(world, user, cfg.max_seq_len))
+
+    counts = [len(items) for items in rows_item]
+    session_col = np.repeat(np.asarray(rows_session, dtype=np.int64), counts)
+    user_col = np.repeat(np.asarray(rows_user, dtype=np.int64), counts)
+    query_col = np.repeat(np.asarray(rows_query, dtype=np.int32), counts)
+    query_cat_col = np.repeat(np.asarray(rows_query_cat, dtype=np.int32), counts)
+    item_col = np.concatenate(rows_item).astype(np.int32)
+    label_col = np.concatenate(rows_label).astype(np.float32)
+    features_col = np.concatenate(rows_features).astype(np.float32)
+    behavior_items = np.repeat(
+        np.stack([row[0] for row in behavior_rows]), counts, axis=0
+    )
+    behavior_cats = np.repeat(
+        np.stack([row[1] for row in behavior_rows]), counts, axis=0
+    )
+    behavior_dense = np.repeat(
+        np.stack([row[2] for row in behavior_rows]), counts, axis=0
+    )
+    behavior_mask = np.repeat(
+        np.stack([row[3] for row in behavior_rows]), counts, axis=0
+    )
+
+    return SearchLog(
+        world=world,
+        session_id=session_col,
+        user_id=user_col,
+        query=query_col,
+        query_category=query_cat_col,
+        target_item=item_col,
+        label=label_col,
+        other_features=features_col,
+        behavior_items=behavior_items,
+        behavior_categories=behavior_cats,
+        behavior_dense=behavior_dense,
+        behavior_mask=behavior_mask,
+    )
+
+
+def _impression_features(
+    world: World,
+    user: int,
+    candidates: np.ndarray,
+    query_cat: int,
+    spec: int,
+    cross: Dict[str, np.ndarray],
+    state: _UserState,
+) -> np.ndarray:
+    """Dense feature matrix (C, F) following ``FEATURE_NAMES`` order."""
+    cfg = world.config
+    c = candidates.size
+    features = np.zeros((c, len(FEATURE_NAMES)), dtype=np.float32)
+    features[:, 0] = np.log1p(state.length) / np.log1p(cfg.max_seq_len)
+    features[:, 1 + world.user_age[user]] = 1.0
+    features[:, 4] = world.item_price_pct[candidates]
+    features[:, 5] = world.item_sales[candidates]
+    features[:, 6] = world.item_popularity[candidates]
+    features[:, 7] = world.item_quality[candidates]
+    features[:, 8] = (world.item_category[candidates] == query_cat).astype(np.float32)
+    features[:, 9] = spec / max(cfg.num_query_specificities - 1, 1)
+    features[:, 10] = np.minimum(cross["item_click_cnt"], 3) / 3.0
+    features[:, 11] = np.minimum(cross["brand_click_cnt"], 5) / 5.0
+    features[:, 12] = np.minimum(cross["shop_click_cnt"], 5) / 5.0
+    features[:, 13] = np.minimum(cross["category_click_cnt"], 8) / 8.0
+    features[:, 14] = cross["brand_click_time_diff"]
+    features[:, 15] = cross["price_gap"]
+    return features
+
+
+# ----------------------------------------------------------------------
+# log -> dataset
+# ----------------------------------------------------------------------
+def _dataset_from_rows(log: SearchLog, rows: np.ndarray) -> RankingDataset:
+    return RankingDataset(
+        behavior_items=log.behavior_items[rows],
+        behavior_categories=log.behavior_categories[rows],
+        behavior_dense=log.behavior_dense[rows],
+        behavior_mask=log.behavior_mask[rows],
+        target_item=log.target_item[rows],
+        target_category=(log.world.item_category[log.target_item[rows] - 1] + 1).astype(np.int32),
+        target_dense=_item_dense(log.world, log.target_item[rows] - 1),
+        query=log.query[rows],
+        query_category=log.query_category[rows],
+        other_features=log.other_features[rows],
+        label=log.label[rows],
+        session_id=log.session_id[rows],
+        user_id=log.user_id[rows],
+        meta=log.world.meta(),
+    )
+
+
+def build_train_dataset(log: SearchLog, rng: np.random.Generator) -> RankingDataset:
+    """Training split per §IV-A1: purchased items positive, an equal number
+    of sampled non-purchased impressions negative (1:1), per session."""
+    keep: List[np.ndarray] = []
+    for _, rows in _sessions(log):
+        positives = rows[log.label[rows] == 1]
+        negatives = rows[log.label[rows] == 0]
+        if positives.size == 0 or negatives.size == 0:
+            continue
+        count = min(positives.size, negatives.size)
+        sampled = rng.choice(negatives, size=count, replace=False)
+        keep.append(positives)
+        keep.append(sampled)
+    if not keep:
+        raise ValueError("no sessions with both positives and negatives; increase sessions")
+    rows = np.sort(np.concatenate(keep))
+    return _dataset_from_rows(log, rows)
+
+
+def build_test_dataset(log: SearchLog) -> RankingDataset:
+    """Test split per §IV-A1: all impressions of sessions that contain at
+    least one purchase and one non-purchase."""
+    keep: List[np.ndarray] = []
+    for _, rows in _sessions(log):
+        labels = log.label[rows]
+        if labels.max() == 1 and labels.min() == 0:
+            keep.append(rows)
+    if not keep:
+        raise ValueError("no evaluable sessions; increase sessions")
+    rows = np.sort(np.concatenate(keep))
+    return _dataset_from_rows(log, rows)
+
+
+def _sessions(log: SearchLog):
+    """Yield (session_id, row_indices) pairs; rows are contiguous by build."""
+    boundaries = np.flatnonzero(np.diff(log.session_id)) + 1
+    starts = np.concatenate([[0], boundaries])
+    stops = np.concatenate([boundaries, [len(log.session_id)]])
+    for start, stop in zip(starts, stops):
+        yield int(log.session_id[start]), np.arange(start, stop)
+
+
+def make_search_datasets(
+    config: WorldConfig,
+    num_train_sessions: int,
+    num_test_sessions: int,
+    seed: int = 0,
+) -> Tuple[World, RankingDataset, RankingDataset]:
+    """One-call pipeline: world → logs → (train 1:1, test full) datasets."""
+    from repro.utils.rng import SeedBank
+
+    bank = SeedBank(seed)
+    world = generate_world(config, bank.child("world"))
+    train_log = simulate_search_log(world, num_train_sessions, bank.child("train-sessions"))
+    test_log = simulate_search_log(
+        world, num_test_sessions, bank.child("test-sessions"), start_session_id=num_train_sessions
+    )
+    train = build_train_dataset(train_log, bank.child("negative-sampling"))
+    test = build_test_dataset(test_log)
+    return world, train, test

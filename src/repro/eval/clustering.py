@@ -1,0 +1,65 @@
+"""Cluster-quality scores for the Fig. 7 gate-representation study.
+
+The paper shows a qualitative t-SNE plot where user groups (new users, old
+users with/without a past order on the target item) form separate clusters.
+We quantify that with the silhouette coefficient and a nearest-centroid
+purity, so the benchmark can assert "groups are separated" numerically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["silhouette_score", "nearest_centroid_purity", "fig7_user_groups"]
+
+
+def silhouette_score(points: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient over all points (O(n²), exact).
+
+    +1 means tight, well-separated clusters; 0 means overlapping; negative
+    means mis-assigned points.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    unique = np.unique(labels)
+    if unique.size < 2:
+        raise ValueError("silhouette needs at least 2 distinct labels")
+    norms = (points * points).sum(axis=1)
+    dists = np.sqrt(
+        np.maximum(norms[:, None] + norms[None, :] - 2.0 * points @ points.T, 0.0)
+    )
+    scores = np.zeros(len(points))
+    for i in range(len(points)):
+        same = labels == labels[i]
+        same[i] = False
+        if not same.any():
+            scores[i] = 0.0
+            continue
+        a = dists[i, same].mean()
+        b = min(dists[i, labels == other].mean() for other in unique if other != labels[i])
+        scores[i] = (b - a) / max(a, b) if max(a, b) > 0 else 0.0
+    return float(scores.mean())
+
+
+def nearest_centroid_purity(points: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of points whose nearest group centroid is their own group."""
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    unique = np.unique(labels)
+    centroids = np.stack([points[labels == value].mean(axis=0) for value in unique])
+    dists = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    assigned = unique[np.argmin(dists, axis=1)]
+    return float((assigned == labels).mean())
+
+
+def fig7_user_groups(behavior_lengths: np.ndarray, item_click_cnt: np.ndarray) -> np.ndarray:
+    """The paper's three Fig. 7 user groups as integer labels.
+
+    0 = new user (no historical behaviours),
+    1 = old user without a past order on the target item,
+    2 = old user with a past order on the target item.
+    """
+    lengths = np.asarray(behavior_lengths)
+    clicks = np.asarray(item_click_cnt)
+    groups = np.where(lengths == 0, 0, np.where(clicks > 0, 2, 1))
+    return groups.astype(np.int64)

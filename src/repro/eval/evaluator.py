@@ -1,0 +1,63 @@
+"""Model evaluation driver: scores a dataset and computes the paper's metrics.
+
+Produces exactly the four columns of Tables II–IV (AUC, AUC@10, NDCG,
+NDCG@10) or the single AUC column of Table V, plus bootstrap p-values against
+reference models via :mod:`repro.eval.significance`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.ranking_model import RankingModel
+from repro.data.dataset import RankingDataset, iterate_batches
+from repro.eval.auc import global_auc, session_auc, session_auc_at_k
+from repro.eval.ndcg import session_ndcg
+
+__all__ = ["predict_scores", "evaluate_ranking", "METRIC_NAMES"]
+
+METRIC_NAMES = ("auc", "auc@10", "ndcg", "ndcg@10")
+
+
+def predict_scores(
+    model: RankingModel, dataset: RankingDataset, batch_size: int = 1024
+) -> np.ndarray:
+    """Predicted probabilities for every impression, in dataset order."""
+    chunks = []
+    for batch in iterate_batches(dataset, batch_size):
+        chunks.append(model.predict_proba(batch))
+    return np.concatenate(chunks)
+
+
+def evaluate_ranking(
+    model: RankingModel,
+    dataset: RankingDataset,
+    batch_size: int = 1024,
+    k: int = 10,
+    scores: Optional[np.ndarray] = None,
+) -> Dict[str, float]:
+    """All four session metrics for one model on one test set.
+
+    Pass precomputed ``scores`` to avoid re-running inference (the
+    significance tests reuse them).
+    """
+    if scores is None:
+        scores = predict_scores(model, dataset, batch_size)
+    labels = dataset.label
+    sessions = dataset.session_id
+    return {
+        "auc": session_auc(scores, labels, sessions),
+        f"auc@{k}": session_auc_at_k(scores, labels, sessions, k=k),
+        "ndcg": session_ndcg(scores, labels, sessions),
+        f"ndcg@{k}": session_ndcg(scores, labels, sessions, k=k),
+    }
+
+
+def evaluate_global_auc(
+    model: RankingModel, dataset: RankingDataset, batch_size: int = 1024
+) -> Dict[str, float]:
+    """Overall AUC only — the Amazon-protocol metric of Table V."""
+    scores = predict_scores(model, dataset, batch_size)
+    return {"auc": global_auc(scores, dataset.label)}

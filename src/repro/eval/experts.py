@@ -1,0 +1,86 @@
+"""Expert-utilization analysis for mixture-of-experts rankers.
+
+Complements the Fig. 7 study: beyond *where* gate vectors sit in
+representation space, these helpers quantify *how* the mixture is used —
+which experts dominate, how concentrated the routing is, and whether
+different user groups activate different experts (the paper's §IV-F claim
+"different user groups have been found to activate different experts").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = [
+    "gate_entropy",
+    "dominant_expert_share",
+    "expert_usage_by_group",
+    "routing_divergence",
+]
+
+
+def _normalize_gates(gates: np.ndarray) -> np.ndarray:
+    """Convert raw gate activations to routing distributions per row.
+
+    AW-MoE's gate is unnormalized (Eq. 8); for utilization statistics we map
+    each row to a distribution by shifting to non-negative and normalizing.
+    Rows that are entirely constant become uniform.
+    """
+    gates = np.asarray(gates, dtype=np.float64)
+    shifted = gates - gates.min(axis=1, keepdims=True)
+    totals = shifted.sum(axis=1, keepdims=True)
+    k = gates.shape[1]
+    uniform = np.full_like(gates, 1.0 / k)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        probs = np.where(totals > 0, shifted / np.maximum(totals, 1e-12), uniform)
+    return probs
+
+
+def gate_entropy(gates: np.ndarray, normalize: bool = True) -> float:
+    """Mean routing entropy in nats; 0 = one-hot routing, log(K) = uniform.
+
+    With ``normalize`` the value is divided by log(K) into [0, 1].
+    """
+    probs = _normalize_gates(gates)
+    safe = np.clip(probs, 1e-12, 1.0)
+    entropy = float(-(safe * np.log(safe)).sum(axis=1).mean())
+    if normalize:
+        entropy /= np.log(probs.shape[1])
+    return entropy
+
+
+def dominant_expert_share(gates: np.ndarray) -> np.ndarray:
+    """Fraction of impressions routed primarily to each expert, shape (K,)."""
+    gates = np.asarray(gates)
+    winners = np.argmax(gates, axis=1)
+    counts = np.bincount(winners, minlength=gates.shape[1])
+    return counts / counts.sum()
+
+
+def expert_usage_by_group(
+    gates: np.ndarray, groups: np.ndarray
+) -> Dict[int, np.ndarray]:
+    """Mean routing distribution per user group.
+
+    Returns ``{group: (K,) distribution}``; the paper's §IV-F observation is
+    that these distributions differ across groups.
+    """
+    probs = _normalize_gates(gates)
+    groups = np.asarray(groups)
+    return {int(g): probs[groups == g].mean(axis=0) for g in np.unique(groups)}
+
+
+def routing_divergence(gates: np.ndarray, groups: np.ndarray) -> float:
+    """Mean total-variation distance of per-group routing from the overall.
+
+    0 means every group routes identically; 1 is maximal divergence.  A
+    positive value substantiates "different user groups activate different
+    experts".
+    """
+    probs = _normalize_gates(gates)
+    overall = probs.mean(axis=0)
+    usage = expert_usage_by_group(gates, groups)
+    distances = [0.5 * np.abs(dist - overall).sum() for dist in usage.values()]
+    return float(np.mean(distances))

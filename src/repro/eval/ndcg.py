@@ -1,0 +1,52 @@
+"""Session-grouped NDCG metrics (paper Eq. 13).
+
+Binary gains with the position discount ``1/log2(i+1)``; the DCG of the
+predicted ordering is normalized by the DCG of the label-ideal ordering.
+``NDCG@10`` truncates both orderings at rank 10.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.eval.auc import _session_rows
+
+__all__ = ["session_ndcg", "dcg"]
+
+
+def dcg(ordered_labels: np.ndarray, k: Optional[int] = None) -> float:
+    """Discounted cumulative gain of labels in ranked order."""
+    labels = np.asarray(ordered_labels, dtype=float)
+    if k is not None:
+        labels = labels[:k]
+    if labels.size == 0:
+        return 0.0
+    discounts = 1.0 / np.log2(np.arange(2, labels.size + 2))
+    return float((labels * discounts).sum())
+
+
+def session_ndcg(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    sessions: np.ndarray,
+    k: Optional[int] = None,
+) -> float:
+    """Mean per-session NDCG (Eq. 13); ``k`` truncates at a cutoff.
+
+    Sessions with no positive item have an undefined ideal DCG and are
+    skipped, mirroring the AUC treatment.
+    """
+    values = []
+    for rows in _session_rows(sessions):
+        session_labels = labels[rows]
+        ideal = dcg(np.sort(session_labels)[::-1], k)
+        if ideal == 0.0:
+            continue
+        order = np.argsort(-scores[rows], kind="stable")
+        realized = dcg(session_labels[order], k)
+        values.append(realized / ideal)
+    if not values:
+        raise ValueError("no session contains a positive item")
+    return float(np.mean(values))

@@ -1,0 +1,135 @@
+"""Exact t-SNE (van der Maaten & Hinton, 2008) for the Fig. 7 study.
+
+A compact O(n²) implementation: Gaussian input affinities with per-point
+perplexity calibration (binary search), Student-t output affinities, gradient
+descent with momentum and early exaggeration.  Fine for the ≤2k gate vectors
+Fig. 7 visualizes; no Barnes-Hut approximation is needed at that size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["TSNEParams", "tsne"]
+
+
+@dataclass(frozen=True)
+class TSNEParams:
+    """t-SNE hyper-parameters (defaults follow the reference implementation)."""
+
+    perplexity: float = 30.0
+    num_iters: int = 400
+    learning_rate: float = 100.0
+    early_exaggeration: float = 4.0
+    exaggeration_iters: int = 100
+    initial_momentum: float = 0.5
+    final_momentum: float = 0.8
+    momentum_switch_iter: int = 120
+
+    def __post_init__(self) -> None:
+        if self.perplexity <= 1:
+            raise ValueError("perplexity must be > 1")
+        if self.num_iters < 1:
+            raise ValueError("num_iters must be >= 1")
+
+
+def _pairwise_sq_dists(x: np.ndarray) -> np.ndarray:
+    norms = (x * x).sum(axis=1)
+    d = norms[:, None] + norms[None, :] - 2.0 * (x @ x.T)
+    np.fill_diagonal(d, 0.0)
+    return np.maximum(d, 0.0)
+
+
+def _conditional_probs(dists_row: np.ndarray, beta: float) -> np.ndarray:
+    p = np.exp(-dists_row * beta)
+    total = p.sum()
+    if total <= 0:
+        return np.zeros_like(p)
+    return p / total
+
+
+def _calibrate_row(dists_row: np.ndarray, target_entropy: float, tol: float = 1e-5) -> np.ndarray:
+    """Binary-search the Gaussian precision matching the target perplexity."""
+    beta, beta_min, beta_max = 1.0, 0.0, np.inf
+    probs = _conditional_probs(dists_row, beta)
+    for _ in range(50):
+        nonzero = probs[probs > 0]
+        entropy = float(-(nonzero * np.log(nonzero)).sum())
+        diff = entropy - target_entropy
+        if abs(diff) < tol:
+            break
+        if diff > 0:
+            beta_min = beta
+            beta = beta * 2 if beta_max == np.inf else (beta + beta_max) / 2
+        else:
+            beta_max = beta
+            beta = beta / 2 if beta_min == 0.0 else (beta + beta_min) / 2
+        probs = _conditional_probs(dists_row, beta)
+    return probs
+
+
+def _input_affinities(x: np.ndarray, perplexity: float) -> np.ndarray:
+    n = len(x)
+    dists = _pairwise_sq_dists(x)
+    target_entropy = np.log(perplexity)
+    p = np.zeros((n, n))
+    for i in range(n):
+        row = np.delete(dists[i], i)
+        probs = _calibrate_row(row, target_entropy)
+        p[i, np.arange(n) != i] = probs
+    p = (p + p.T) / (2.0 * n)
+    return np.maximum(p, 1e-12)
+
+
+def tsne(
+    x: np.ndarray,
+    params: Optional[TSNEParams] = None,
+    rng: Optional[np.random.Generator] = None,
+    dim: int = 2,
+) -> np.ndarray:
+    """Embed rows of ``x`` into ``dim`` dimensions.
+
+    Returns an ``(n, dim)`` array.  Deterministic given ``rng``.
+    """
+    if params is None:
+        params = TSNEParams()
+    if rng is None:
+        rng = np.random.default_rng(0)
+    x = np.asarray(x, dtype=np.float64)
+    n = len(x)
+    if n < 5:
+        raise ValueError(f"t-SNE needs at least 5 points, got {n}")
+    perplexity = min(params.perplexity, (n - 1) / 3.0)
+    p = _input_affinities(x, perplexity) * params.early_exaggeration
+
+    y = rng.normal(0.0, 1e-4, size=(n, dim))
+    velocity = np.zeros_like(y)
+    gains = np.ones_like(y)
+
+    for iteration in range(params.num_iters):
+        dists = _pairwise_sq_dists(y)
+        inv = 1.0 / (1.0 + dists)
+        np.fill_diagonal(inv, 0.0)
+        q = np.maximum(inv / inv.sum(), 1e-12)
+
+        pq = (p - q) * inv
+        grad = 4.0 * ((np.diag(pq.sum(axis=1)) - pq) @ y)
+
+        momentum = (
+            params.initial_momentum
+            if iteration < params.momentum_switch_iter
+            else params.final_momentum
+        )
+        same_sign = np.sign(grad) == np.sign(velocity)
+        gains = np.where(same_sign, gains * 0.8, gains + 0.2)
+        gains = np.maximum(gains, 0.01)
+        velocity = momentum * velocity - params.learning_rate * gains * grad
+        y = y + velocity
+        y = y - y.mean(axis=0)
+
+        if iteration == params.exaggeration_iters:
+            p = p / params.early_exaggeration
+    return y

@@ -1,0 +1,6 @@
+"""``repro.gbdt`` — gradient-boosted trees (XGBoost stand-in for Fig. 2)."""
+
+from repro.gbdt.boosting import GBDTParams, GradientBoostedTrees
+from repro.gbdt.tree import RegressionTree, TreeParams
+
+__all__ = ["GBDTParams", "GradientBoostedTrees", "RegressionTree", "TreeParams"]

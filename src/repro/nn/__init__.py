@@ -1,0 +1,84 @@
+"""``repro.nn`` — a NumPy autograd + neural-network substrate.
+
+The paper trained AW-MoE on GPUs with a deep-learning framework; this package
+re-implements the needed subset from scratch: reverse-mode autodiff tensors,
+layers (Linear / Embedding / MLP / Dropout / LayerNorm), optimizers
+(SGD / Adam / AdamW), and the two losses the paper combines — binary
+cross-entropy ranking loss (Eq. 1) and InfoNCE contrastive loss (Eq. 10).
+"""
+
+from repro.nn.tensor import Tensor, no_grad, is_grad_enabled
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    Identity,
+    LayerNorm,
+    Linear,
+    MLP,
+    Sequential,
+)
+from repro.nn.ops import (
+    concat,
+    embedding,
+    log_softmax,
+    logsumexp,
+    masked_fill,
+    maximum,
+    minimum,
+    softmax,
+    stack,
+    take,
+    where,
+)
+from repro.nn.losses import (
+    bce_with_logits,
+    binary_cross_entropy,
+    info_nce,
+    mse_loss,
+    softmax_cross_entropy,
+)
+from repro.nn.optim import SGD, Adam, AdamW, CosineLR, Optimizer, StepLR, clip_grad_norm
+from repro.nn.serialization import load_module, load_state, save_module, save_state
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "MLP",
+    "Dropout",
+    "LayerNorm",
+    "Sequential",
+    "Identity",
+    "concat",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+    "embedding",
+    "take",
+    "softmax",
+    "log_softmax",
+    "logsumexp",
+    "masked_fill",
+    "bce_with_logits",
+    "binary_cross_entropy",
+    "mse_loss",
+    "softmax_cross_entropy",
+    "info_nce",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "StepLR",
+    "CosineLR",
+    "clip_grad_norm",
+    "save_state",
+    "load_state",
+    "save_module",
+    "load_module",
+]

@@ -1,0 +1,100 @@
+"""Functional aliases over tensor methods, for users who prefer the
+``f(x)`` style of calling ops.
+
+Every function here delegates to the corresponding method of
+:class:`repro.nn.tensor.Tensor` (or re-exports a free-function op), so there
+is exactly one implementation of each operation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from repro.nn.ops import (  # noqa: F401  (re-exported)
+    concat,
+    embedding,
+    log_softmax,
+    logsumexp,
+    masked_fill,
+    maximum,
+    minimum,
+    softmax,
+    stack,
+    take,
+    where,
+)
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "tanh",
+    "exp",
+    "log",
+    "sqrt",
+    "abs",
+    "clip",
+    "matmul",
+    "concat",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+    "embedding",
+    "take",
+    "softmax",
+    "log_softmax",
+    "logsumexp",
+    "masked_fill",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Elementwise ``max(x, 0)``."""
+    return x.relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU with the given negative-side slope."""
+    return x.leaky_relu(negative_slope)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Numerically stable logistic function."""
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def exp(x: Tensor) -> Tensor:
+    """Elementwise exponential."""
+    return x.exp()
+
+
+def log(x: Tensor) -> Tensor:
+    """Elementwise natural logarithm."""
+    return x.log()
+
+
+def sqrt(x: Tensor) -> Tensor:
+    """Elementwise square root."""
+    return x.sqrt()
+
+
+def abs(x: Tensor) -> Tensor:  # noqa: A001 - mirrors the builtin deliberately
+    """Elementwise absolute value."""
+    return x.abs()
+
+
+def clip(x: Tensor, low: float, high: float) -> Tensor:
+    """Clamp values to ``[low, high]``."""
+    return x.clip(low, high)
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    """Matrix product (2-D or batched)."""
+    return a.matmul(b)

@@ -1,0 +1,220 @@
+"""Neural network layers used throughout the AW-MoE reproduction.
+
+The paper's building blocks (Fig. 4) are all small MLPs with ReLU activations
+plus embedding tables, so the layer zoo here is intentionally compact:
+``Linear``, ``Embedding``, ``MLP``, ``Dropout``, ``LayerNorm``, ``Sequential``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.nn.ops import embedding as embedding_op
+from repro.nn.tensor import Tensor
+
+__all__ = ["Linear", "Embedding", "MLP", "Dropout", "LayerNorm", "Sequential", "Identity"]
+
+Activation = Optional[str]
+
+_ACTIVATIONS: dict = {
+    "relu": lambda x: x.relu(),
+    "sigmoid": lambda x: x.sigmoid(),
+    "tanh": lambda x: x.tanh(),
+    "leaky_relu": lambda x: x.leaky_relu(),
+    None: lambda x: x,
+    "linear": lambda x: x,
+}
+
+
+def apply_activation(x: Tensor, name: Activation) -> Tensor:
+    """Apply a named activation; ``None``/``"linear"`` is the identity."""
+    try:
+        return _ACTIVATIONS[name](x)
+    except KeyError:
+        raise ValueError(f"unknown activation {name!r}; expected one of {sorted(k for k in _ACTIVATIONS if k)}")
+
+
+class Identity(Module):
+    """A no-op module, useful as a placeholder in ablations."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b`` applied over the last dimension.
+
+    Accepts inputs with any number of leading dimensions, e.g. per-item
+    hidden vectors of shape ``(batch, seq_len, in_features)``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+        weight_init: Callable = init.he_normal,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(weight_init((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"Linear expected last dim {self.in_features}, got input shape {x.shape}"
+            )
+        leading = x.shape[:-1]
+        flat = x.reshape(-1, self.in_features) if x.ndim != 2 else x
+        out = flat.matmul(self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        if x.ndim != 2:
+            out = out.reshape(*leading, self.out_features)
+        return out
+
+
+class Embedding(Module):
+    """Embedding table mapping integer ids to dense vectors.
+
+    Index 0 is conventionally the padding id in this codebase; callers mask
+    padded positions explicitly, so no special handling is done here.
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator,
+        std: float = 0.01,
+    ) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), rng, std=std))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding ids out of range [0, {self.num_embeddings}): "
+                f"min={indices.min()}, max={indices.max()}"
+            )
+        return embedding_op(self.weight, indices)
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        return x * mask
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.gamma = Parameter(init.ones((num_features,)))
+        self.beta = Parameter(init.zeros((num_features,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta
+
+
+class Sequential(Module):
+    """Run child modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._layers: List[Module] = []
+        for i, module in enumerate(modules):
+            setattr(self, f"layer{i}", module)
+            self._layers.append(module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a shared hidden activation.
+
+    ``hidden_sizes`` lists every layer width after the input, matching the
+    paper's notation: the expert network "MLP (512x256x1)" is
+    ``MLP(in_dim, [512, 256, 1])``.  The final layer is linear unless
+    ``output_activation`` says otherwise; the paper applies ReLU at the output
+    of its activation/gate units (Fig. 4), which callers request explicitly.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_sizes: Sequence[int],
+        rng: np.random.Generator,
+        activation: Activation = "relu",
+        output_activation: Activation = None,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if not hidden_sizes:
+            raise ValueError("MLP requires at least one layer size")
+        self.activation = activation
+        self.output_activation = output_activation
+        self._linears: List[Linear] = []
+        self._dropouts: List[Optional[Dropout]] = []
+        previous = in_features
+        for i, width in enumerate(hidden_sizes):
+            layer = Linear(previous, width, rng)
+            setattr(self, f"fc{i}", layer)
+            self._linears.append(layer)
+            if dropout > 0.0 and i < len(hidden_sizes) - 1:
+                drop = Dropout(dropout, rng)
+                setattr(self, f"drop{i}", drop)
+                self._dropouts.append(drop)
+            else:
+                self._dropouts.append(None)
+            previous = width
+        self.out_features = previous
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self._linears) - 1
+        for i, layer in enumerate(self._linears):
+            x = layer(x)
+            name = self.output_activation if i == last else self.activation
+            x = apply_activation(x, name)
+            drop = self._dropouts[i]
+            if drop is not None:
+                x = drop(x)
+        return x

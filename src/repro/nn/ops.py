@@ -1,0 +1,189 @@
+"""Free-function tensor operations built on :class:`repro.nn.tensor.Tensor`.
+
+These complement the methods on ``Tensor`` with operations that either take
+multiple tensors (``concat``, ``stack``, ``where``), take integer index arrays
+(``embedding``, ``take``), or fuse several primitive steps for numerical
+stability (``log_softmax``, ``logsumexp``, ``bce_with_logits``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, _unbroadcast
+
+__all__ = [
+    "concat",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+    "embedding",
+    "take",
+    "softmax",
+    "log_softmax",
+    "logsumexp",
+    "masked_fill",
+]
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis``; gradients split back by segment."""
+    if not tensors:
+        raise ValueError("concat() requires at least one tensor")
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        moved = np.moveaxis(grad, axis, 0)
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                piece = np.moveaxis(moved[start:stop], 0, axis)
+                tensor._accumulate(np.ascontiguousarray(piece))
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack same-shaped tensors along a new axis."""
+    if not tensors:
+        raise ValueError("stack() requires at least one tensor")
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        moved = np.moveaxis(grad, axis, 0)
+        for i, tensor in enumerate(tensors):
+            if tensor.requires_grad:
+                tensor._accumulate(np.ascontiguousarray(moved[i]))
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Select from ``a`` where ``condition`` is true, else from ``b``.
+
+    ``condition`` is a plain boolean array (non-differentiable).
+    """
+    condition = np.asarray(condition, dtype=bool)
+    data = np.where(condition, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad * condition, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * ~condition, b.shape))
+
+    return Tensor._make(data, (a, b), backward)
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise maximum; ties route gradient to the first operand."""
+    return where(a.data >= b.data, a, b)
+
+
+def minimum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise minimum; ties route gradient to the first operand."""
+    return where(a.data <= b.data, a, b)
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Look up rows of ``weight`` (V, D) by an integer array of any shape.
+
+    Output shape is ``indices.shape + (D,)``.  The backward pass scatter-adds
+    into the embedding table, matching dense-gradient embedding layers.
+    """
+    indices = np.asarray(indices)
+    if not np.issubdtype(indices.dtype, np.integer):
+        raise TypeError(f"embedding indices must be integers, got {indices.dtype}")
+    data = weight.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            full = np.zeros_like(weight.data)
+            np.add.at(full, indices.reshape(-1), grad.reshape(-1, weight.data.shape[-1]))
+            weight._accumulate(full)
+
+    return Tensor._make(data, (weight,), backward)
+
+
+def take(tensor: Tensor, indices: np.ndarray, axis: int = 0) -> Tensor:
+    """Differentiable ``np.take`` along ``axis`` with integer ``indices``."""
+    indices = np.asarray(indices)
+    data = np.take(tensor.data, indices, axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        if tensor.requires_grad:
+            full = np.zeros_like(tensor.data)
+            moved_full = np.moveaxis(full, axis, 0)
+            moved_grad = np.moveaxis(
+                grad, tuple(range(axis, axis + indices.ndim)), tuple(range(indices.ndim))
+            )
+            np.add.at(moved_full, indices, moved_grad)
+            tensor._accumulate(full)
+
+    return Tensor._make(data, (tensor,), backward)
+
+
+def logsumexp(tensor: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable ``log(sum(exp(x)))`` along ``axis``."""
+    x = tensor.data
+    m = x.max(axis=axis, keepdims=True)
+    shifted = np.exp(x - m)
+    total = shifted.sum(axis=axis, keepdims=True)
+    data = (np.log(total) + m)
+    softmax_vals = shifted / total
+    if not keepdims:
+        data = np.squeeze(data, axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        if tensor.requires_grad:
+            g = grad if keepdims else np.expand_dims(grad, axis=axis)
+            tensor._accumulate(g * softmax_vals)
+
+    return Tensor._make(data, (tensor,), backward)
+
+
+def softmax(tensor: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` with a fused, stable backward pass."""
+    x = tensor.data
+    shifted = np.exp(x - x.max(axis=axis, keepdims=True))
+    data = shifted / shifted.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if tensor.requires_grad:
+            dot = (grad * data).sum(axis=axis, keepdims=True)
+            tensor._accumulate(data * (grad - dot))
+
+    return Tensor._make(data, (tensor,), backward)
+
+
+def log_softmax(tensor: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis``; stable fused forward/backward."""
+    x = tensor.data
+    m = x.max(axis=axis, keepdims=True)
+    shifted = x - m
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    data = shifted - lse
+    softmax_vals = np.exp(data)
+
+    def backward(grad: np.ndarray) -> None:
+        if tensor.requires_grad:
+            total = grad.sum(axis=axis, keepdims=True)
+            tensor._accumulate(grad - softmax_vals * total)
+
+    return Tensor._make(data, (tensor,), backward)
+
+
+def masked_fill(tensor: Tensor, mask: np.ndarray, value: float) -> Tensor:
+    """Replace entries where ``mask`` is true with ``value`` (no grad there)."""
+    mask = np.asarray(mask, dtype=bool)
+    data = np.where(mask, np.asarray(value, dtype=tensor.data.dtype), tensor.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if tensor.requires_grad:
+            tensor._accumulate(_unbroadcast(grad * ~mask, tensor.shape))
+
+    return Tensor._make(data, (tensor,), backward)

@@ -1,0 +1,23 @@
+"""``repro.serving`` — deployment simulators (§III-F) and A/B testing (§IV-I)."""
+
+from repro.serving.ab_test import ABTestResult, run_ab_test
+from repro.serving.cost import (
+    GateCostReport,
+    compare_gate_strategies,
+    gate_network_flops,
+    mlp_flops,
+    model_flops,
+)
+from repro.serving.engine import RankedList, SearchEngine
+
+__all__ = [
+    "ABTestResult",
+    "run_ab_test",
+    "GateCostReport",
+    "compare_gate_strategies",
+    "gate_network_flops",
+    "mlp_flops",
+    "model_flops",
+    "RankedList",
+    "SearchEngine",
+]

@@ -1,0 +1,117 @@
+"""Serving-cost model for the gate-network optimization (paper §III-F1).
+
+The paper's initial design fed the *target item* into the gate network, so
+the gate had to be recomputed for every candidate item in a session; the
+deployed design feeds only user/query-level features, so one gate computation
+serves all candidates — "> 10x saving in computational resource and latency".
+
+This module counts multiply-accumulate FLOPs from the actual layer shapes of
+a :class:`repro.core.config.ModelConfig` and reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.config import ModelConfig
+from repro.data.schema import DatasetMeta
+
+__all__ = ["GateCostReport", "mlp_flops", "gate_network_flops", "model_flops", "compare_gate_strategies"]
+
+
+def mlp_flops(in_dim: int, layer_sizes: Sequence[int]) -> int:
+    """Multiply-accumulate count of one MLP forward pass (2·in·out per layer)."""
+    total = 0
+    previous = in_dim
+    for width in layer_sizes:
+        total += 2 * previous * width
+        previous = width
+    return total
+
+
+def _item_repr_dim(config: ModelConfig, meta: DatasetMeta) -> int:
+    return config.item_embed_dim + config.category_embed_dim + meta.num_item_dense
+
+
+def gate_network_flops(config: ModelConfig, meta: DatasetMeta, seq_len: int) -> int:
+    """FLOPs of one gate-network evaluation over a length-``seq_len`` sequence."""
+    hidden = list(config.input_hidden)
+    h = hidden[-1]
+    item_dim = _item_repr_dim(config, meta)
+    key_dim = config.query_embed_dim if config.task == "search" else item_dim
+    per_item = (
+        mlp_flops(item_dim, hidden)  # behaviour MLP^G
+        + mlp_flops(3 * h, list(config.unit_hidden) + [config.num_experts])  # gate unit
+        + mlp_flops(3 * h, list(config.unit_hidden) + [1])  # activation unit
+        + 2 * config.num_experts  # weighted accumulation
+    )
+    return seq_len * per_item + mlp_flops(key_dim, hidden)
+
+
+def input_network_flops(config: ModelConfig, meta: DatasetMeta, seq_len: int) -> int:
+    """FLOPs of the input network for one impression."""
+    hidden = list(config.input_hidden)
+    h = hidden[-1]
+    item_dim = _item_repr_dim(config, meta)
+    per_item = mlp_flops(item_dim, hidden) + mlp_flops(3 * h, list(config.unit_hidden) + [1])
+    components = 3 if config.task == "search" else 2
+    fixed = mlp_flops(item_dim, hidden) + mlp_flops(meta.num_features, hidden)
+    if config.task == "search":
+        fixed += mlp_flops(config.query_embed_dim, hidden)
+    return seq_len * per_item + fixed + (components + 1) * h
+
+
+def expert_flops(config: ModelConfig, meta: DatasetMeta) -> int:
+    """FLOPs of all K experts for one impression."""
+    components = 3 if config.task == "search" else 2
+    v_imp = (components + 1) * config.input_hidden[-1]
+    return config.num_experts * mlp_flops(v_imp, list(config.expert_hidden) + [1])
+
+
+def model_flops(
+    config: ModelConfig, meta: DatasetMeta, seq_len: int, gate_per_item: bool, items: int
+) -> int:
+    """Total session FLOPs for ``items`` candidates under one gate strategy."""
+    per_item = input_network_flops(config, meta, seq_len) + expert_flops(config, meta)
+    gate = gate_network_flops(config, meta, seq_len)
+    gate_count = items if gate_per_item else 1
+    return items * per_item + gate_count * gate
+
+
+@dataclass(frozen=True)
+class GateCostReport:
+    """Cost comparison between per-item and per-session gate evaluation."""
+
+    items_per_session: int
+    seq_len: int
+    gate_flops: int
+    per_item_total: int
+    per_session_total: int
+
+    @property
+    def gate_saving_factor(self) -> float:
+        """How many times fewer gate FLOPs the deployed design spends."""
+        return float(self.items_per_session)
+
+    @property
+    def total_saving_factor(self) -> float:
+        """End-to-end session FLOP ratio (per-item / per-session)."""
+        return self.per_item_total / self.per_session_total
+
+
+def compare_gate_strategies(
+    config: ModelConfig, meta: DatasetMeta, items_per_session: int, seq_len: int
+) -> GateCostReport:
+    """Reproduce §III-F1: gate-once-per-session vs gate-per-item costs."""
+    if items_per_session < 1:
+        raise ValueError("items_per_session must be >= 1")
+    return GateCostReport(
+        items_per_session=items_per_session,
+        seq_len=seq_len,
+        gate_flops=gate_network_flops(config, meta, seq_len),
+        per_item_total=model_flops(config, meta, seq_len, gate_per_item=True, items=items_per_session),
+        per_session_total=model_flops(
+            config, meta, seq_len, gate_per_item=False, items=items_per_session
+        ),
+    )

@@ -1,0 +1,128 @@
+"""Search-engine serving simulator (paper §III-F2, Fig. 6).
+
+Models the online loop: a user issues a query → the engine retrieves
+candidate items (popularity-biased within the query category, like the
+production candidate generator) → the ranking model scores every candidate →
+the engine returns the ranked list.  Latency per query is measured so the
+deployment benchmark can report the per-session gate optimization end to end.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.ranking_model import RankingModel
+from repro.data.schema import Batch
+from repro.data.synthetic import (
+    World,
+    _cross_features,
+    _encode_behavior,
+    _impression_features,
+    _item_dense,
+    _UserState,
+)
+
+__all__ = ["RankedList", "SearchEngine"]
+
+
+@dataclass
+class RankedList:
+    """Result of one query: items sorted by predicted score (descending)."""
+
+    user: int
+    query_category: int
+    items: np.ndarray  # 0-based item ids, ranked
+    scores: np.ndarray  # predicted probabilities, same order
+    latency_ms: float
+
+
+class SearchEngine:
+    """Retrieval + ranking pipeline over a synthetic world."""
+
+    def __init__(
+        self,
+        world: World,
+        model: RankingModel,
+        rng: np.random.Generator,
+        candidates_per_query: Optional[int] = None,
+    ) -> None:
+        self.world = world
+        self.model = model
+        self._rng = rng
+        self.candidates_per_query = candidates_per_query or world.config.items_per_session
+        self._by_category = [
+            np.flatnonzero(world.item_category == cat)
+            for cat in range(world.config.num_categories)
+        ]
+        self.queries_served = 0
+        self.total_latency_ms = 0.0
+
+    # ------------------------------------------------------------------
+    # pipeline stages
+    # ------------------------------------------------------------------
+    def retrieve(self, query_category: int) -> np.ndarray:
+        """Candidate generation: popularity-biased sample within category."""
+        members = self._by_category[query_category]
+        if members.size == 0:
+            raise ValueError(f"category {query_category} has no items")
+        k = min(members.size, self.candidates_per_query)
+        weights = self.world.item_popularity[members] ** 0.7 + 1e-3
+        weights = weights / weights.sum()
+        return self._rng.choice(members, size=k, replace=False, p=weights)
+
+    def build_batch(
+        self, user: int, query_category: int, candidates: np.ndarray, spec: int = 1
+    ) -> Batch:
+        """Feature assembly for (user, query, candidates) — the feature dump
+        step of Fig. 6."""
+        world = self.world
+        state = _UserState(world, user)
+        cross = _cross_features(state, world, candidates)
+        features = _impression_features(world, user, candidates, query_category, spec, cross, state)
+        items, cats, dense, mask = _encode_behavior(world, user, world.config.max_seq_len)
+        count = candidates.size
+        query_id = query_category * world.config.num_query_specificities + spec + 1
+        return {
+            "behavior_items": np.tile(items, (count, 1)),
+            "behavior_categories": np.tile(cats, (count, 1)),
+            "behavior_dense": np.tile(dense, (count, 1, 1)),
+            "behavior_mask": np.tile(mask, (count, 1)),
+            "target_item": (candidates + 1).astype(np.int32),
+            "target_category": (world.item_category[candidates] + 1).astype(np.int32),
+            "target_dense": _item_dense(world, candidates),
+            "query": np.full(count, query_id, dtype=np.int32),
+            "query_category": np.full(count, query_category + 1, dtype=np.int32),
+            "other_features": features.astype(np.float32),
+            "label": np.zeros(count, dtype=np.float32),
+            "session_id": np.zeros(count, dtype=np.int64),
+            "user_id": np.full(count, user, dtype=np.int64),
+        }
+
+    def search(self, user: int, query_category: int) -> RankedList:
+        """Serve one query end to end and record latency."""
+        start = time.perf_counter()
+        candidates = self.retrieve(query_category)
+        batch = self.build_batch(user, query_category, candidates)
+        scores = self.model.predict_proba(batch)
+        order = np.argsort(-scores, kind="stable")
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        self.queries_served += 1
+        self.total_latency_ms += elapsed_ms
+        return RankedList(
+            user=user,
+            query_category=query_category,
+            items=candidates[order],
+            scores=scores[order],
+            latency_ms=elapsed_ms,
+        )
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Average serving latency over all queries so far."""
+        if self.queries_served == 0:
+            return 0.0
+        return self.total_latency_ms / self.queries_served

@@ -1,0 +1,16 @@
+"""Shared utilities: deterministic RNG, registries, run logs, table printing."""
+
+from repro.utils.logging import RunLog
+from repro.utils.registry import Registry
+from repro.utils.rng import SeedBank, generator
+from repro.utils.tables import format_float, format_table, print_table
+
+__all__ = [
+    "RunLog",
+    "Registry",
+    "SeedBank",
+    "generator",
+    "format_float",
+    "format_table",
+    "print_table",
+]

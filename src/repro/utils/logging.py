@@ -1,0 +1,48 @@
+"""Minimal structured logging for training runs.
+
+A :class:`RunLog` collects per-step metric dictionaries; the trainer uses it
+for loss curves and the tests assert on its contents.  Kept dependency-free on
+purpose (the standard ``logging`` module is configured by applications, not
+libraries).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["RunLog"]
+
+
+class RunLog:
+    """Append-only record of scalar metrics over training steps."""
+
+    def __init__(self, name: str = "run", echo_every: int = 0, stream=None) -> None:
+        self.name = name
+        self.echo_every = echo_every
+        self.records: List[Dict[str, float]] = []
+        self._stream = stream if stream is not None else sys.stderr
+        self._started = time.time()
+
+    def log(self, step: int, **metrics: float) -> None:
+        """Record metrics for a step, optionally echoing to the stream."""
+        record = {"step": float(step)}
+        record.update({k: float(v) for k, v in metrics.items()})
+        self.records.append(record)
+        if self.echo_every and step % self.echo_every == 0:
+            elapsed = time.time() - self._started
+            parts = " ".join(f"{k}={v:.5f}" for k, v in metrics.items())
+            print(f"[{self.name}] step={step} {parts} ({elapsed:.1f}s)", file=self._stream)
+
+    def series(self, key: str) -> List[float]:
+        """Return the values logged under ``key``, in order."""
+        return [record[key] for record in self.records if key in record]
+
+    def last(self, key: str) -> Optional[float]:
+        """Return the most recent value of ``key`` or ``None``."""
+        values = self.series(key)
+        return values[-1] if values else None
+
+    def __len__(self) -> int:
+        return len(self.records)

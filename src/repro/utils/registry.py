@@ -1,0 +1,49 @@
+"""A small name → factory registry.
+
+Used to register ranking models by name ("dnn", "din", "category_moe",
+"aw_moe", ...) so the benchmark harness and examples can build any compared
+model from a string, mirroring how the paper's Tables II–V list them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List
+
+__all__ = ["Registry"]
+
+
+class Registry:
+    """Mapping from string keys to factory callables."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._factories: Dict[str, Callable] = {}
+
+    def register(self, name: str) -> Callable:
+        """Decorator registering ``name`` → decorated callable."""
+        if name in self._factories:
+            raise KeyError(f"{self.kind} {name!r} is already registered")
+
+        def decorator(factory: Callable) -> Callable:
+            self._factories[name] = factory
+            return factory
+
+        return decorator
+
+    def get(self, name: str) -> Callable:
+        """Return the factory for ``name``; raise with suggestions if absent."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            known = ", ".join(sorted(self._factories))
+            raise KeyError(f"unknown {self.kind} {name!r}; known: {known}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._factories))
+
+    def names(self) -> List[str]:
+        """Sorted registered names."""
+        return sorted(self._factories)

@@ -1,0 +1,55 @@
+"""Plain-text table rendering used by the benchmark harness.
+
+Each benchmark prints rows in the same layout as the paper's tables so the
+reproduction can be compared against the published numbers side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "print_table", "format_float"]
+
+
+def format_float(value: Optional[float], digits: int = 4) -> str:
+    """Format a float like the paper (4 decimals); dashes for missing cells."""
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells but table has {len(headers)} columns")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> None:
+    """Print :func:`format_table` output, surrounded by blank lines."""
+    print()
+    print(format_table(headers, rows, title=title))
+    print()

@@ -1,0 +1,49 @@
+"""Shared fixtures: tiny deterministic worlds and datasets."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig, TrainConfig
+from repro.data import WorldConfig, generate_world, make_search_datasets
+from repro.utils import SeedBank
+
+
+@pytest.fixture(scope="session")
+def unit_world_and_data():
+    """One tiny world with train/test datasets, shared across the session."""
+    return make_search_datasets(WorldConfig.unit(), 400, 150, seed=2)
+
+
+@pytest.fixture(scope="session")
+def unit_world(unit_world_and_data):
+    return unit_world_and_data[0]
+
+
+@pytest.fixture(scope="session")
+def train_set(unit_world_and_data):
+    return unit_world_and_data[1]
+
+
+@pytest.fixture(scope="session")
+def test_set(unit_world_and_data):
+    return unit_world_and_data[2]
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture()
+def bank():
+    return SeedBank(7)
+
+
+@pytest.fixture()
+def unit_model_config():
+    return ModelConfig.unit()
+
+
+@pytest.fixture()
+def fast_train_config():
+    return TrainConfig(epochs=1, batch_size=64, learning_rate=3e-3)

@@ -1,0 +1,122 @@
+"""Future-work extensions: sparse top-K gate, adversarial regularizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ModelConfig, TrainConfig
+from repro.core.extensions import (
+    SparseGatedAWMoE,
+    expert_correlation_loss,
+    sparse_top_k,
+    train_adversarial_aw_moe,
+)
+from repro.nn import Tensor
+
+settings.register_profile("ci", deadline=None, max_examples=25)
+settings.load_profile("ci")
+
+
+class TestSparseTopK:
+    def test_keeps_largest(self):
+        gate = Tensor(np.array([[0.1, 0.5, 0.3, 0.2]], dtype=np.float32))
+        out = sparse_top_k(gate, 2).numpy()
+        assert out[0, 1] == pytest.approx(0.5, rel=1e-5)
+        assert out[0, 2] == pytest.approx(0.3, rel=1e-5)
+        assert out[0, 0] == 0.0
+        assert out[0, 3] == 0.0
+
+    def test_full_k_is_identity(self):
+        gate = Tensor(np.random.default_rng(0).random((3, 4)).astype(np.float32))
+        out = sparse_top_k(gate, 4)
+        assert np.allclose(out.numpy(), gate.numpy())
+
+    def test_invalid_k(self):
+        gate = Tensor(np.zeros((2, 4), dtype=np.float32))
+        with pytest.raises(ValueError):
+            sparse_top_k(gate, 0)
+        with pytest.raises(ValueError):
+            sparse_top_k(gate, 5)
+
+    def test_gradient_only_through_survivors(self):
+        gate = Tensor(
+            np.array([[1.0, 2.0, 3.0, 4.0]]), requires_grad=True, dtype=np.float64
+        )
+        sparse_top_k(gate, 2).sum().backward()
+        assert list(gate.grad[0]) == [0.0, 0.0, 1.0, 1.0]
+
+    @given(st.integers(1, 6))
+    def test_exactly_k_nonzero_when_values_distinct(self, k):
+        rng = np.random.default_rng(4)
+        values = rng.permutation(6).astype(np.float32)[None, :] + 1.0
+        out = sparse_top_k(Tensor(values), k).numpy()
+        assert (out != 0).sum() == k
+
+
+class TestSparseGatedModel:
+    def test_forward_shape(self, test_set):
+        model = SparseGatedAWMoE(ModelConfig.unit(), test_set.meta, np.random.default_rng(0), top_k=2)
+        batch = test_set.batch_at(np.arange(8))
+        logits, gate = model.forward_with_gate(batch)
+        assert logits.shape == (8,)
+        nonzero_per_row = (gate.numpy() != 0).sum(axis=1)
+        assert np.all(nonzero_per_row <= 2 + 1)  # ties may keep an extra entry
+
+    def test_invalid_top_k(self, test_set):
+        with pytest.raises(ValueError):
+            SparseGatedAWMoE(ModelConfig.unit(), test_set.meta, np.random.default_rng(0), top_k=99)
+
+    def test_active_fraction(self, test_set):
+        model = SparseGatedAWMoE(ModelConfig.unit(), test_set.meta, np.random.default_rng(0), top_k=1)
+        frac = model.active_expert_fraction(test_set.batch_at(np.arange(32)))
+        assert 0.0 < frac <= 0.6
+
+    def test_trains(self, train_set, fast_train_config):
+        from repro.core import train_model
+
+        model = SparseGatedAWMoE(ModelConfig.unit(), train_set.meta, np.random.default_rng(0), top_k=2)
+        log = train_model(model, train_set, fast_train_config, seed=1)
+        assert np.isfinite(log.last("loss"))
+
+
+class TestAdversarial:
+    def test_identical_experts_give_max_correlation(self):
+        scores = np.tile(np.random.default_rng(0).random((16, 1)), (1, 4)).astype(np.float32)
+        loss = expert_correlation_loss(Tensor(scores))
+        assert loss.item() == pytest.approx(1.0, abs=0.05)
+
+    def test_independent_experts_give_low_correlation(self):
+        scores = np.random.default_rng(0).normal(size=(500, 4)).astype(np.float32)
+        loss = expert_correlation_loss(Tensor(scores))
+        assert loss.item() < 0.05
+
+    def test_batch_of_one_rejected(self):
+        with pytest.raises(ValueError):
+            expert_correlation_loss(Tensor(np.zeros((1, 4), dtype=np.float32)))
+
+    def test_gradient_flows(self):
+        scores = Tensor(
+            np.random.default_rng(1).normal(size=(32, 4)), requires_grad=True, dtype=np.float64
+        )
+        expert_correlation_loss(scores).backward()
+        assert scores.grad is not None
+
+    def test_adversarial_training_reduces_correlation(self, train_set):
+        from repro.core import AWMoE
+
+        config = TrainConfig(epochs=2, batch_size=64, learning_rate=3e-3)
+        plain = AWMoE(ModelConfig.unit(), train_set.meta, np.random.default_rng(7))
+        adversarial = AWMoE(ModelConfig.unit(), train_set.meta, np.random.default_rng(7))
+        train_adversarial_aw_moe(plain, train_set, config, adversarial_weight=0.0, seed=3)
+        train_adversarial_aw_moe(adversarial, train_set, config, adversarial_weight=1.0, seed=3)
+        batch = train_set.batch_at(np.arange(min(256, len(train_set))))
+        corr_plain = expert_correlation_loss(Tensor(plain.expert_scores(batch))).item()
+        corr_adv = expert_correlation_loss(Tensor(adversarial.expert_scores(batch))).item()
+        assert corr_adv < corr_plain
+
+    def test_negative_weight_rejected(self, train_set):
+        from repro.core import AWMoE
+
+        model = AWMoE(ModelConfig.unit(), train_set.meta, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            train_adversarial_aw_moe(model, train_set, TrainConfig(), adversarial_weight=-1.0)

@@ -1,0 +1,76 @@
+"""Amazon-protocol invariants (leave-one-out, 1:1, 90/10 user split)."""
+
+import numpy as np
+import pytest
+
+from repro.data import WorldConfig
+from repro.data.amazon import make_amazon_datasets
+
+
+@pytest.fixture(scope="module")
+def amazon():
+    return make_amazon_datasets(WorldConfig.unit(), seed=13)
+
+
+class TestProtocol:
+    def test_reco_meta(self, amazon):
+        _, train, test = amazon
+        assert train.meta.task == "reco"
+        assert train.meta.num_queries == 1
+
+    def test_one_to_one_labels(self, amazon):
+        _, train, test = amazon
+        assert train.label.mean() == pytest.approx(0.5)
+        assert test.label.mean() == pytest.approx(0.5)
+
+    def test_user_split_disjoint(self, amazon):
+        _, train, test = amazon
+        assert not set(np.unique(train.user_id)) & set(np.unique(test.user_id))
+
+    def test_split_fraction(self, amazon):
+        world, train, test = amazon
+        train_users = np.unique(train.user_id).size
+        test_users = np.unique(test.user_id).size
+        fraction = train_users / (train_users + test_users)
+        assert fraction == pytest.approx(0.9, abs=0.05)
+
+    def test_positive_is_last_history_item(self, amazon):
+        world, train, _ = amazon
+        positives = train.label == 1
+        users = train.user_id[positives]
+        items = train.target_item[positives] - 1
+        for user, item in zip(users[:50], items[:50]):
+            assert world.histories[user][-1] == item
+
+    def test_history_excludes_held_out_item_position(self, amazon):
+        world, train, _ = amazon
+        lengths = train.behavior_lengths()
+        for i in range(min(50, len(train))):
+            user = train.user_id[i]
+            full = len(world.histories[user])
+            assert lengths[i] == min(full - 1, world.config.max_seq_len)
+
+    def test_negative_differs_from_positive(self, amazon):
+        _, train, _ = amazon
+        # rows alternate (positive, negative) per user by construction
+        pos_items = train.target_item[train.label == 1]
+        neg_items = train.target_item[train.label == 0]
+        assert np.all(pos_items != neg_items)
+
+    def test_no_query_ids(self, amazon):
+        _, train, test = amazon
+        assert train.query.max() == 0
+        assert test.query.max() == 0
+
+    def test_session_is_user(self, amazon):
+        _, train, _ = amazon
+        assert np.array_equal(train.session_id, train.user_id)
+
+    def test_determinism(self):
+        _, a, _ = make_amazon_datasets(WorldConfig.unit(), seed=13)
+        _, b, _ = make_amazon_datasets(WorldConfig.unit(), seed=13)
+        assert np.array_equal(a.target_item, b.target_item)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            make_amazon_datasets(WorldConfig.unit(), seed=1, train_fraction=1.0)

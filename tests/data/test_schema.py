@@ -1,0 +1,95 @@
+"""Schema contract: feature layout, batch validation."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import (
+    BATCH_KEYS,
+    FEATURE_NAMES,
+    FIG2_FEATURES,
+    DatasetMeta,
+    batch_size_of,
+    validate_batch,
+)
+
+
+def _meta(**overrides):
+    defaults = dict(
+        num_items=10,
+        num_categories=4,
+        num_queries=6,
+        num_brands=8,
+        num_shops=5,
+        max_seq_len=3,
+    )
+    defaults.update(overrides)
+    return DatasetMeta(**defaults)
+
+
+class TestDatasetMeta:
+    def test_num_features_matches_layout(self):
+        assert _meta().num_features == len(FEATURE_NAMES)
+
+    def test_feature_index_lookup(self):
+        meta = _meta()
+        assert meta.feature_index("price") == FEATURE_NAMES.index("price")
+
+    def test_feature_index_unknown(self):
+        with pytest.raises(KeyError):
+            _meta().feature_index("nonexistent")
+
+    def test_fig2_features_are_subset(self):
+        assert set(FIG2_FEATURES) <= set(FEATURE_NAMES)
+
+    def test_item_dense_count(self):
+        assert _meta().num_item_dense == 4
+
+    def test_default_task(self):
+        assert _meta().task == "search"
+
+
+def _valid_batch(n=4, m=3, f=len(FEATURE_NAMES)):
+    return {
+        "behavior_items": np.zeros((n, m), dtype=np.int32),
+        "behavior_categories": np.zeros((n, m), dtype=np.int32),
+        "behavior_dense": np.zeros((n, m, 4), dtype=np.float32),
+        "behavior_mask": np.zeros((n, m), dtype=np.float32),
+        "target_item": np.ones(n, dtype=np.int32),
+        "target_category": np.ones(n, dtype=np.int32),
+        "target_dense": np.zeros((n, 4), dtype=np.float32),
+        "query": np.ones(n, dtype=np.int32),
+        "query_category": np.ones(n, dtype=np.int32),
+        "other_features": np.zeros((n, f), dtype=np.float32),
+        "label": np.zeros(n, dtype=np.float32),
+        "session_id": np.arange(n, dtype=np.int64),
+        "user_id": np.arange(n, dtype=np.int64),
+    }
+
+
+class TestBatchValidation:
+    def test_valid_batch_passes(self):
+        validate_batch(_valid_batch())
+
+    def test_batch_size(self):
+        assert batch_size_of(_valid_batch(7)) == 7
+
+    def test_missing_key_rejected(self):
+        batch = _valid_batch()
+        del batch["query"]
+        with pytest.raises(KeyError):
+            validate_batch(batch)
+
+    def test_inconsistent_rows_rejected(self):
+        batch = _valid_batch()
+        batch["label"] = np.zeros(99, dtype=np.float32)
+        with pytest.raises((ValueError, KeyError)):
+            validate_batch(batch)
+
+    def test_mask_shape_mismatch_rejected(self):
+        batch = _valid_batch()
+        batch["behavior_mask"] = np.zeros((4, 99), dtype=np.float32)
+        with pytest.raises(ValueError):
+            validate_batch(batch)
+
+    def test_all_keys_in_contract(self):
+        assert set(_valid_batch()) == set(BATCH_KEYS)

@@ -1,0 +1,60 @@
+"""Long-tail splits and Table I statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data.splits import long_tail_by_history, long_tail_elderly, standard_test_splits
+from repro.data.stats import dataset_statistics, table1_rows
+
+
+class TestLongTailSplits:
+    def test_history_split_respects_threshold(self, test_set):
+        split = long_tail_by_history(test_set, max_behaviors=3)
+        assert np.all(split.behavior_lengths() <= 3)
+
+    def test_history_split_nonempty(self, test_set):
+        assert len(long_tail_by_history(test_set, max_behaviors=3)) > 0
+
+    def test_elderly_split_only_elderly(self, test_set):
+        split = long_tail_elderly(test_set)
+        idx = test_set.meta.feature_index("age_elderly")
+        assert np.all(split.other_features[:, idx] == 1.0)
+
+    def test_elderly_are_long_tail(self, test_set):
+        elderly = long_tail_elderly(test_set)
+        assert elderly.behavior_lengths().mean() < test_set.behavior_lengths().mean()
+
+    def test_standard_splits_keys(self, test_set):
+        splits = standard_test_splits(test_set)
+        assert set(splits) == {"full", "long_tail_1", "long_tail_2"}
+        assert splits["full"] is test_set
+
+    def test_splits_are_subsets(self, test_set):
+        splits = standard_test_splits(test_set)
+        assert len(splits["long_tail_1"]) < len(test_set)
+        assert len(splits["long_tail_2"]) < len(test_set)
+
+
+class TestTable1:
+    def test_statistics_keys(self, test_set):
+        stats = dataset_statistics(test_set)
+        assert "# Sessions" in stats
+        assert "Pos : Neg" in stats
+
+    def test_balanced_set_reports_one_to_one(self, train_set):
+        stats = dataset_statistics(train_set)
+        assert stats["Pos : Neg"] == "1 : 1"
+
+    def test_imbalanced_set_reports_ratio(self, test_set):
+        stats = dataset_statistics(test_set)
+        assert stats["Pos : Neg"].startswith("1 : ")
+        assert stats["Pos : Neg"] != "1 : 1"
+
+    def test_rows_align_with_splits(self, test_set):
+        rows = table1_rows({"full": test_set, "lt1": long_tail_by_history(test_set)})
+        assert len(rows) == 6
+        assert all(len(row) == 3 for row in rows)
+
+    def test_examples_count_formatting(self, test_set):
+        stats = dataset_statistics(test_set)
+        assert stats["# Examples"] == f"{len(test_set):,}"

@@ -1,0 +1,76 @@
+"""Expert-utilization statistics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.experts import (
+    dominant_expert_share,
+    expert_usage_by_group,
+    gate_entropy,
+    routing_divergence,
+)
+
+
+class TestGateEntropy:
+    def test_one_hot_routing_zero_entropy(self):
+        gates = np.eye(4)[np.array([0, 1, 2, 3, 0])]
+        assert gate_entropy(gates) == pytest.approx(0.0, abs=1e-6)
+
+    def test_uniform_routing_max_entropy(self):
+        gates = np.ones((10, 4))
+        assert gate_entropy(gates) == pytest.approx(1.0, abs=1e-6)
+
+    def test_unnormalized_value_in_nats(self):
+        gates = np.ones((5, 4))
+        assert gate_entropy(gates, normalize=False) == pytest.approx(np.log(4), abs=1e-6)
+
+    def test_between_bounds(self):
+        rng = np.random.default_rng(0)
+        gates = rng.random((50, 6))
+        assert 0.0 <= gate_entropy(gates) <= 1.0
+
+
+class TestDominantShare:
+    def test_sums_to_one(self):
+        rng = np.random.default_rng(1)
+        share = dominant_expert_share(rng.random((100, 4)))
+        assert share.sum() == pytest.approx(1.0)
+
+    def test_identifies_dominant(self):
+        gates = np.zeros((10, 3))
+        gates[:, 2] = 1.0
+        share = dominant_expert_share(gates)
+        assert share[2] == 1.0
+
+    def test_includes_unused_experts(self):
+        gates = np.zeros((4, 5))
+        gates[:, 0] = 1.0
+        assert dominant_expert_share(gates).shape == (5,)
+
+
+class TestGroupUsage:
+    def test_groups_partition(self):
+        rng = np.random.default_rng(2)
+        gates = rng.random((40, 4))
+        groups = np.repeat([0, 1], 20)
+        usage = expert_usage_by_group(gates, groups)
+        assert set(usage) == {0, 1}
+        for dist in usage.values():
+            assert dist.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_divergence_zero_for_identical_groups(self):
+        gates = np.tile(np.array([[1.0, 2.0, 3.0, 4.0]]), (20, 1))
+        groups = np.repeat([0, 1], 10)
+        assert routing_divergence(gates, groups) == pytest.approx(0.0, abs=1e-9)
+
+    def test_divergence_positive_for_distinct_groups(self):
+        gates = np.zeros((20, 2))
+        gates[:10, 0] = 1.0
+        gates[10:, 1] = 1.0
+        groups = np.repeat([0, 1], 10)
+        assert routing_divergence(gates, groups) > 0.4
+
+    def test_constant_rows_become_uniform(self):
+        gates = np.full((6, 4), 2.5)
+        usage = expert_usage_by_group(gates, np.zeros(6))
+        assert np.allclose(usage[0], 0.25)

@@ -1,0 +1,72 @@
+"""NDCG metrics (Eq. 13)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import dcg, session_ndcg
+
+
+class TestDCG:
+    def test_single_relevant_at_top(self):
+        assert dcg(np.array([1, 0, 0])) == pytest.approx(1.0)
+
+    def test_discount_applied(self):
+        assert dcg(np.array([0, 1])) == pytest.approx(1.0 / np.log2(3))
+
+    def test_cutoff(self):
+        assert dcg(np.array([0, 0, 1]), k=2) == 0.0
+
+    def test_empty(self):
+        assert dcg(np.array([])) == 0.0
+
+    def test_additivity(self):
+        labels = np.array([1, 1, 0, 1])
+        expected = 1.0 + 1.0 / np.log2(3) + 1.0 / np.log2(5)
+        assert dcg(labels) == pytest.approx(expected)
+
+
+class TestSessionNDCG:
+    def test_perfect_ordering_is_one(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([1, 1, 0, 0])
+        assert session_ndcg(scores, labels, np.zeros(4)) == pytest.approx(1.0)
+
+    def test_worst_ordering_below_one(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([1, 1, 0, 0])
+        value = session_ndcg(scores, labels, np.zeros(4))
+        assert 0 < value < 1
+
+    def test_averaged_over_sessions(self):
+        scores = np.array([0.9, 0.1, 0.1, 0.9])
+        labels = np.array([1, 0, 1, 0])
+        sessions = np.array([0, 0, 1, 1])
+        perfect = 1.0
+        inverted = (1.0 / np.log2(3)) / 1.0
+        assert session_ndcg(scores, labels, sessions) == pytest.approx((perfect + inverted) / 2)
+
+    def test_cutoff_changes_value(self):
+        scores = np.array([0.9, 0.8, 0.7, 0.1])
+        labels = np.array([0, 0, 0, 1])
+        sessions = np.zeros(4)
+        full = session_ndcg(scores, labels, sessions)
+        at2 = session_ndcg(scores, labels, sessions, k=2)
+        assert at2 == 0.0
+        assert full > 0.0
+
+    def test_sessions_without_positives_skipped(self):
+        scores = np.array([0.9, 0.1, 0.3, 0.2])
+        labels = np.array([1, 0, 0, 0])
+        sessions = np.array([0, 0, 1, 1])
+        assert session_ndcg(scores, labels, sessions) == pytest.approx(1.0)
+
+    def test_all_sessions_without_positives_raise(self):
+        with pytest.raises(ValueError):
+            session_ndcg(np.array([0.5, 0.6]), np.array([0, 0]), np.zeros(2))
+
+    def test_ndcg_at_10_on_long_session(self):
+        rng = np.random.default_rng(2)
+        scores = rng.random(30)
+        labels = (rng.random(30) < 0.3).astype(float)
+        value = session_ndcg(scores, labels, np.zeros(30), k=10)
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,163 @@
+"""Gradient-boosted trees: splits, boosting, importances."""
+
+import numpy as np
+import pytest
+
+from repro.gbdt import GBDTParams, GradientBoostedTrees, RegressionTree, TreeParams
+
+
+class TestTreeParams:
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            TreeParams(max_depth=0)
+
+    def test_negative_lambda(self):
+        with pytest.raises(ValueError):
+            TreeParams(reg_lambda=-1.0)
+
+
+class TestRegressionTree:
+    def test_recovers_single_split(self):
+        """A step function in one feature must be found exactly."""
+        rng = np.random.default_rng(0)
+        x = rng.random((200, 3))
+        target = np.where(x[:, 1] > 0.5, 1.0, -1.0)
+        # For squared loss: grad = pred - target with pred=0, hess = 1.
+        tree = RegressionTree(TreeParams(max_depth=1))
+        tree.fit(x, -target, np.ones(200))
+        assert 1 in tree.feature_gain
+        assert tree.feature_gain.get(0, 0.0) == 0.0
+        predictions = tree.predict(x)
+        assert np.corrcoef(predictions, target)[0, 1] > 0.95
+
+    def test_depth_limit_respected(self):
+        rng = np.random.default_rng(1)
+        x = rng.random((300, 4))
+        grad = rng.normal(size=300)
+        tree = RegressionTree(TreeParams(max_depth=2))
+        tree.fit(x, grad, np.ones(300))
+        assert tree.depth() <= 2
+
+    def test_leaf_value_formula(self):
+        # Pure leaf (no split possible): value = -G / (H + lambda).
+        x = np.ones((10, 1))
+        grad = np.full(10, 2.0)
+        tree = RegressionTree(TreeParams(max_depth=3, reg_lambda=1.0))
+        tree.fit(x, grad, np.ones(10))
+        assert tree.predict(x)[0] == pytest.approx(-20.0 / 11.0)
+
+    def test_min_child_weight_blocks_tiny_splits(self):
+        x = np.array([[0.0], [1.0], [1.0], [1.0]])
+        grad = np.array([-10.0, 1.0, 1.0, 1.0])
+        strict = RegressionTree(TreeParams(max_depth=1, min_child_weight=2.0))
+        strict.fit(x, grad, np.ones(4))
+        assert strict.depth() == 0
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree(TreeParams()).predict(np.ones((2, 2)))
+
+    def test_shape_validation(self):
+        tree = RegressionTree(TreeParams())
+        with pytest.raises(ValueError):
+            tree.fit(np.ones(5), np.ones(5), np.ones(5))
+        with pytest.raises(ValueError):
+            tree.fit(np.ones((5, 2)), np.ones(4), np.ones(5))
+
+
+class TestBoosting:
+    def test_fits_linearly_separable(self):
+        rng = np.random.default_rng(2)
+        x = rng.random((400, 4))
+        y = (x[:, 2] > 0.5).astype(float)
+        model = GradientBoostedTrees(GBDTParams(num_rounds=20))
+        model.fit(x, y)
+        preds = model.predict_proba(x)
+        accuracy = ((preds > 0.5) == y).mean()
+        assert accuracy > 0.95
+
+    def test_fits_xor_interaction(self):
+        rng = np.random.default_rng(3)
+        x = rng.random((600, 2))
+        y = ((x[:, 0] > 0.5) ^ (x[:, 1] > 0.5)).astype(float)
+        model = GradientBoostedTrees(GBDTParams(num_rounds=40, max_depth=3))
+        model.fit(x, y)
+        accuracy = ((model.predict_proba(x) > 0.5) == y).mean()
+        assert accuracy > 0.9
+
+    def test_probabilities_in_range(self):
+        rng = np.random.default_rng(4)
+        x = rng.random((100, 3))
+        y = (rng.random(100) < 0.3).astype(float)
+        model = GradientBoostedTrees(GBDTParams(num_rounds=5))
+        model.fit(x, y)
+        probs = model.predict_proba(x)
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_importance_identifies_informative_feature(self):
+        rng = np.random.default_rng(5)
+        x = rng.random((500, 5))
+        y = (x[:, 3] > 0.6).astype(float)
+        model = GradientBoostedTrees(GBDTParams(num_rounds=15))
+        model.fit(x, y)
+        importances = model.feature_importances("gain")
+        assert importances[3] == importances.max()
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_split_count_importance(self):
+        rng = np.random.default_rng(6)
+        x = rng.random((300, 3))
+        y = (x[:, 0] > 0.5).astype(float)
+        model = GradientBoostedTrees(GBDTParams(num_rounds=5))
+        model.fit(x, y)
+        by_splits = model.feature_importances("splits")
+        assert by_splits[0] > 0
+
+    def test_unknown_importance_kind(self):
+        rng = np.random.default_rng(6)
+        x = rng.random((50, 2))
+        y = (x[:, 0] > 0.5).astype(float)
+        model = GradientBoostedTrees(GBDTParams(num_rounds=2))
+        model.fit(x, y)
+        with pytest.raises(ValueError):
+            model.feature_importances("cover")
+
+    def test_non_binary_labels_rejected(self):
+        model = GradientBoostedTrees(GBDTParams())
+        with pytest.raises(ValueError):
+            model.fit(np.ones((3, 2)), np.array([0.0, 0.5, 1.0]))
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostedTrees(GBDTParams()).predict_proba(np.ones((2, 2)))
+
+    def test_subsample_runs(self):
+        rng = np.random.default_rng(7)
+        x = rng.random((200, 3))
+        y = (x[:, 1] > 0.5).astype(float)
+        model = GradientBoostedTrees(GBDTParams(num_rounds=10, subsample=0.5), rng=rng)
+        model.fit(x, y)
+        assert ((model.predict_proba(x) > 0.5) == y).mean() > 0.8
+
+    def test_base_score_matches_prior(self):
+        rng = np.random.default_rng(8)
+        x = rng.random((100, 2))
+        y = (rng.random(100) < 0.2).astype(float)
+        model = GradientBoostedTrees(GBDTParams(num_rounds=1))
+        model.fit(x, y)
+        prior = y.mean()
+        assert model._base_score == pytest.approx(np.log(prior / (1 - prior)), rel=1e-6)
+
+    def test_len_counts_trees(self):
+        rng = np.random.default_rng(9)
+        x = rng.random((60, 2))
+        y = (x[:, 0] > 0.5).astype(float)
+        model = GradientBoostedTrees(GBDTParams(num_rounds=7))
+        model.fit(x, y)
+        assert len(model) == 7
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GBDTParams(num_rounds=0)
+        with pytest.raises(ValueError):
+            GBDTParams(subsample=0.0)

@@ -1,0 +1,134 @@
+"""End-to-end integration: full pipelines from world to metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig, TrainConfig, build_model, train_model
+from repro.data import WorldConfig
+from repro.data.amazon import make_amazon_datasets
+from repro.data.splits import standard_test_splits
+from repro.eval import evaluate_ranking, paired_bootstrap_pvalue, predict_scores
+from repro.eval.auc import global_auc
+from repro.nn import load_module, save_module
+from repro.utils import SeedBank
+
+
+class TestSearchPipeline:
+    @pytest.fixture(scope="class")
+    def trained(self, unit_world_and_data):
+        _, train, test = unit_world_and_data
+        bank = SeedBank(31)
+        config = TrainConfig(epochs=2, batch_size=64, learning_rate=3e-3)
+        models = {}
+        for name in ["dnn", "aw_moe"]:
+            model = build_model(name, ModelConfig.unit(), train.meta, bank.child(name))
+            train_model(model, train, config, seed=8)
+            models[name] = model
+        return models, test
+
+    def test_models_beat_chance(self, trained):
+        models, test = trained
+        for name, model in models.items():
+            metrics = evaluate_ranking(model, test)
+            assert metrics["auc"] > 0.55, f"{name} failed to learn"
+
+    def test_long_tail_splits_evaluable(self, trained):
+        models, test = trained
+        splits = standard_test_splits(test)
+        for split in splits.values():
+            metrics = evaluate_ranking(models["aw_moe"], split)
+            assert 0.0 <= metrics["auc"] <= 1.0
+
+    def test_bootstrap_pvalue_runs_between_models(self, trained):
+        models, test = trained
+        scores_a = predict_scores(models["dnn"], test)
+        scores_b = predict_scores(models["aw_moe"], test)
+        p = paired_bootstrap_pvalue(
+            scores_a, scores_b, test.label, test.session_id,
+            num_resamples=100, rng=np.random.default_rng(0),
+        )
+        assert 0.0 < p <= 1.0
+
+    def test_checkpoint_round_trip(self, trained, tmp_path):
+        models, test = trained
+        model = models["aw_moe"]
+        path = str(tmp_path / "awmoe")
+        save_module(model, path)
+        clone = build_model("aw_moe", ModelConfig.unit(), test.meta, np.random.default_rng(99))
+        load_module(clone, path)
+        batch = test.batch_at(np.arange(32))
+        assert np.allclose(model.predict_logits(batch), clone.predict_logits(batch), atol=1e-6)
+
+
+class TestContrastivePipeline:
+    def test_cl_training_end_to_end(self, unit_world_and_data):
+        _, train, test = unit_world_and_data
+        bank = SeedBank(33)
+        model = build_model("aw_moe", ModelConfig.unit(), train.meta, bank.child("m"))
+        config = TrainConfig(epochs=2, batch_size=64, learning_rate=3e-3).with_contrastive()
+        log = train_model(model, train, config, seed=9)
+        assert log.last("cl_loss") is not None
+        metrics = evaluate_ranking(model, test)
+        assert metrics["auc"] > 0.55
+
+    def test_cl_pulls_masked_view_towards_anchor(self, unit_world_and_data):
+        """The intended effect of §III-D: after CL training, a user's masked
+        view is closer (in gate space) to their own anchor than other users
+        are on average."""
+        _, train, test = unit_world_and_data
+        bank = SeedBank(34)
+        model = build_model("aw_moe", ModelConfig.unit(), train.meta, bank.child("m"))
+        config = TrainConfig(epochs=3, batch_size=64, learning_rate=3e-3).with_contrastive()
+        train_model(model, train, config, seed=10)
+
+        from repro.data.masking import random_mask
+
+        batch = test.batch_at(np.arange(128))
+        anchor = model.gate_outputs(batch)
+        masked = random_mask(batch["behavior_mask"], np.random.default_rng(5), 0.3)
+        import repro.nn as nn
+
+        with nn.no_grad():
+            positive = model.gate_vector(batch, mask_override=masked).numpy()
+        own = (anchor * positive).sum(axis=1)
+        shuffled = (anchor * np.roll(positive, 1, axis=0)).sum(axis=1)
+        assert own.mean() > shuffled.mean()
+
+
+class TestRecoPipeline:
+    def test_amazon_end_to_end(self):
+        _, train, test = make_amazon_datasets(WorldConfig.unit(), seed=17)
+        bank = SeedBank(35)
+        model = build_model("aw_moe", ModelConfig.unit(task="reco"), train.meta, bank.child("m"))
+        train_model(model, train, TrainConfig(epochs=3, batch_size=64, learning_rate=3e-3), seed=11)
+        auc = global_auc(predict_scores(model, test), test.label)
+        assert auc > 0.55
+
+    def test_gate_uses_target_in_reco(self):
+        _, train, _ = make_amazon_datasets(WorldConfig.unit(), seed=17)
+        model = build_model("aw_moe", ModelConfig.unit(task="reco"), train.meta, np.random.default_rng(0))
+        batch = train.batch_at(np.arange(8))
+        base = model.gate_outputs(batch)
+        rolled = {k: v.copy() for k, v in batch.items()}
+        rolled["target_item"] = np.roll(rolled["target_item"], 1)
+        rolled["target_category"] = np.roll(rolled["target_category"], 1)
+        rolled["target_dense"] = np.roll(rolled["target_dense"], 1, axis=0)
+        assert not np.allclose(base, model.gate_outputs(rolled))
+
+
+class TestGateRepresentations:
+    def test_gate_vectors_vary_by_user_group(self, unit_world_and_data):
+        """The mechanism behind Fig. 7: after training, gate outputs of
+        new users differ from those of old users."""
+        _, train, test = unit_world_and_data
+        bank = SeedBank(36)
+        model = build_model("aw_moe", ModelConfig.unit(), train.meta, bank.child("m"))
+        train_model(model, train, TrainConfig(epochs=2, batch_size=64, learning_rate=3e-3), seed=12)
+        batch = test.batch_at(np.arange(len(test)))
+        gates = model.gate_outputs(batch)
+        lengths = test.behavior_lengths()
+        new_users = lengths == 0
+        if new_users.sum() >= 2 and (~new_users).sum() >= 2:
+            centroid_new = gates[new_users].mean(axis=0)
+            centroid_old = gates[~new_users].mean(axis=0)
+            assert not np.allclose(centroid_new, centroid_old, atol=1e-3)

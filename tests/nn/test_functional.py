@@ -1,0 +1,51 @@
+"""Functional API aliases delegate to the tensor methods."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+RNG = np.random.default_rng(21)
+
+
+class TestFunctionalAliases:
+    def test_relu(self):
+        x = Tensor(np.array([-1.0, 2.0]))
+        assert np.allclose(F.relu(x).numpy(), x.relu().numpy())
+
+    def test_sigmoid(self):
+        x = Tensor(RNG.random(5))
+        assert np.allclose(F.sigmoid(x).numpy(), x.sigmoid().numpy())
+
+    def test_tanh_exp_log_sqrt_abs(self):
+        x = Tensor(RNG.random(5) + 0.5)
+        assert np.allclose(F.tanh(x).numpy(), x.tanh().numpy())
+        assert np.allclose(F.exp(x).numpy(), x.exp().numpy())
+        assert np.allclose(F.log(x).numpy(), x.log().numpy())
+        assert np.allclose(F.sqrt(x).numpy(), x.sqrt().numpy())
+        assert np.allclose(F.abs(x).numpy(), x.abs().numpy())
+
+    def test_leaky_relu_slope(self):
+        x = Tensor(np.array([-2.0]))
+        assert F.leaky_relu(x, 0.5).numpy()[0] == pytest.approx(-1.0)
+
+    def test_clip(self):
+        x = Tensor(np.array([-1.0, 0.5, 2.0]))
+        assert list(F.clip(x, 0.0, 1.0).numpy()) == [0.0, 0.5, 1.0]
+
+    def test_matmul(self):
+        a = Tensor(RNG.random((2, 3)))
+        b = Tensor(RNG.random((3, 4)))
+        assert np.allclose(F.matmul(a, b).numpy(), a.matmul(b).numpy())
+
+    def test_free_functions_reexported(self):
+        x = Tensor(RNG.random((2, 3)))
+        assert np.allclose(F.softmax(x).numpy().sum(axis=-1), 1.0, atol=1e-6)
+        joined = F.concat([x, x], axis=1)
+        assert joined.shape == (2, 6)
+
+    def test_gradients_flow_through_aliases(self):
+        x = Tensor(RNG.random((2, 2)), requires_grad=True, dtype=np.float64)
+        F.relu(F.matmul(x, x)).sum().backward()
+        assert x.grad is not None

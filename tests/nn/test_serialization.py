@@ -1,0 +1,48 @@
+"""Checkpoint save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Tensor, load_module, load_state, save_module, save_state
+
+RNG = np.random.default_rng(11)
+
+
+class TestStateFiles:
+    def test_round_trip(self, tmp_path):
+        state = {"a.weight": RNG.random((3, 2)), "b": np.zeros(4)}
+        path = str(tmp_path / "ckpt.npz")
+        save_state(state, path)
+        loaded = load_state(path)
+        assert set(loaded) == set(state)
+        assert np.allclose(loaded["a.weight"], state["a.weight"])
+
+    def test_extension_appended_on_load(self, tmp_path):
+        path = str(tmp_path / "model")
+        save_state({"x": np.ones(2)}, path)
+        loaded = load_state(path)  # no .npz given
+        assert np.allclose(loaded["x"], 1.0)
+
+    def test_creates_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "ckpt")
+        save_state({"x": np.ones(1)}, path)
+        assert np.allclose(load_state(path)["x"], 1.0)
+
+
+class TestModuleCheckpoint:
+    def test_module_round_trip(self, tmp_path):
+        source = MLP(4, [8, 2], RNG)
+        clone = MLP(4, [8, 2], np.random.default_rng(99))
+        path = str(tmp_path / "mlp")
+        save_module(source, path)
+        load_module(clone, path)
+        x = Tensor(RNG.random((3, 4)).astype(np.float32))
+        assert np.allclose(source(x).numpy(), clone(x).numpy(), atol=1e-7)
+
+    def test_load_into_wrong_architecture_fails(self, tmp_path):
+        source = MLP(4, [8, 2], RNG)
+        other = MLP(4, [16, 2], RNG)
+        path = str(tmp_path / "mlp")
+        save_module(source, path)
+        with pytest.raises((KeyError, ValueError)):
+            load_module(other, path)

@@ -1,0 +1,133 @@
+"""Serving cost model, engine simulator, and A/B test."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig, build_model
+from repro.serving import (
+    SearchEngine,
+    compare_gate_strategies,
+    gate_network_flops,
+    mlp_flops,
+    model_flops,
+    run_ab_test,
+)
+from repro.data.schema import validate_batch
+
+
+class TestCostModel:
+    def test_mlp_flops_hand_computed(self):
+        # 4 -> 8 -> 2: 2*4*8 + 2*8*2 = 64 + 32
+        assert mlp_flops(4, [8, 2]) == 96
+
+    def test_gate_flops_scale_with_sequence(self, test_set):
+        config = ModelConfig.paper()
+        short = gate_network_flops(config, test_set.meta, seq_len=10)
+        long = gate_network_flops(config, test_set.meta, seq_len=1000)
+        assert long > 50 * short
+
+    def test_gate_saving_matches_items_per_session(self, test_set):
+        report = compare_gate_strategies(ModelConfig.paper(), test_set.meta, 40, 100)
+        assert report.gate_saving_factor == 40.0
+
+    def test_paper_scenario_exceeds_10x(self, test_set):
+        """§III-F: "> 10x saving" refers to the gate-network overhead — the
+        deployed design evaluates the gate once per session instead of once
+        per candidate item, so gate resources shrink by the session size."""
+        report = compare_gate_strategies(
+            ModelConfig.paper(), test_set.meta, items_per_session=40, seq_len=1000
+        )
+        assert report.gate_saving_factor > 10.0
+        gate_cost_per_item_design = report.gate_flops * report.items_per_session
+        gate_cost_per_session_design = report.gate_flops
+        assert gate_cost_per_item_design / gate_cost_per_session_design > 10.0
+        # End-to-end, the saving is smaller (input network + experts still run
+        # per item) but strictly positive.
+        assert report.total_saving_factor > 1.0
+
+    def test_total_cost_ordering(self, test_set):
+        config = ModelConfig.paper()
+        per_item = model_flops(config, test_set.meta, 100, gate_per_item=True, items=20)
+        per_session = model_flops(config, test_set.meta, 100, gate_per_item=False, items=20)
+        assert per_item > per_session
+
+    def test_invalid_items(self, test_set):
+        with pytest.raises(ValueError):
+            compare_gate_strategies(ModelConfig.paper(), test_set.meta, 0, 10)
+
+
+class TestSearchEngine:
+    @pytest.fixture()
+    def engine(self, unit_world, test_set):
+        model = build_model("aw_moe", ModelConfig.unit(), test_set.meta, np.random.default_rng(0))
+        return SearchEngine(unit_world, model, np.random.default_rng(1))
+
+    def test_retrieval_respects_category(self, engine, unit_world):
+        candidates = engine.retrieve(2)
+        assert np.all(unit_world.item_category[candidates] == 2)
+
+    def test_batch_is_valid(self, engine):
+        candidates = engine.retrieve(1)
+        batch = engine.build_batch(0, 1, candidates)
+        validate_batch(batch)
+
+    def test_search_returns_sorted_scores(self, engine):
+        result = engine.search(user=3, query_category=2)
+        assert np.all(np.diff(result.scores) <= 0)
+        assert result.items.size == result.scores.size
+
+    def test_latency_tracked(self, engine):
+        engine.search(1, 0)
+        engine.search(2, 1)
+        assert engine.queries_served == 2
+        assert engine.mean_latency_ms > 0
+
+    def test_mean_latency_zero_before_queries(self, unit_world, test_set):
+        model = build_model("dnn", ModelConfig.unit(), test_set.meta, np.random.default_rng(0))
+        engine = SearchEngine(unit_world, model, np.random.default_rng(1))
+        assert engine.mean_latency_ms == 0.0
+
+
+class TestABTest:
+    def test_oracle_beats_antioracle(self, unit_world, test_set):
+        """A ranker aligned with true preferences must win UCVR over an
+        inverted one — the sanity check for the simulator's sensitivity."""
+        from repro.core.ranking_model import RankingModel
+        from repro.nn import Tensor
+        from repro.data.synthetic import _cross_features, _true_logits, _UserState
+
+        class OracleRanker(RankingModel):
+            sign = 1.0
+
+            def forward(self, batch):
+                world = unit_world
+                out = np.zeros(len(batch["label"]), dtype=np.float32)
+                for i in range(len(out)):
+                    user = int(batch["user_id"][i])
+                    item = np.array([int(batch["target_item"][i]) - 1])
+                    state = _UserState(world, user)
+                    cross = _cross_features(state, world, item)
+                    qcat = int(batch["query_category"][i]) - 1
+                    out[i] = self.sign * _true_logits(world, user, item, qcat, cross)[0]
+                return Tensor(out)
+
+        class AntiOracle(OracleRanker):
+            sign = -1.0
+
+        result = run_ab_test(unit_world, AntiOracle(), OracleRanker(), num_users=160, seed=3)
+        assert result.ucvr_b > result.ucvr_a
+        assert result.ucvr_lift > 0
+
+    def test_result_fields(self, unit_world, test_set):
+        a = build_model("dnn", ModelConfig.unit(), test_set.meta, np.random.default_rng(0))
+        b = build_model("dnn", ModelConfig.unit(), test_set.meta, np.random.default_rng(1))
+        result = run_ab_test(unit_world, a, b, num_users=40, seed=2)
+        assert result.users_a + result.users_b == 40
+        assert 0 <= result.uctr_a <= 1
+        assert 0 <= result.ucvr_b <= 1
+        assert 0 <= result.uctr_p_value <= 1
+
+    def test_too_few_users_rejected(self, unit_world, test_set):
+        a = build_model("dnn", ModelConfig.unit(), test_set.meta, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            run_ab_test(unit_world, a, a, num_users=5)

@@ -2,8 +2,10 @@
 
 Builds the retrieval + ranking engine over a trained AW-MoE, serves live
 queries, reports latency, prints the gate-cost comparison between the
-initial (gate-per-item) and deployed (gate-per-session) designs, and runs a
-small A/B test of AW-MoE against Category-MoE.
+initial (gate-per-item) and deployed (gate-per-session) designs, drives the
+high-throughput stack (Zipf traffic → sharded workers → micro-batching →
+cached session gates), and runs a small A/B test of AW-MoE against
+Category-MoE.
 
 Run:  python examples/serving_demo.py
 """
@@ -12,7 +14,14 @@ import numpy as np
 
 from repro.core import ModelConfig, TrainConfig, build_model, train_model
 from repro.data import WorldConfig, make_search_datasets
-from repro.serving import SearchEngine, compare_gate_strategies, run_ab_test
+from repro.serving import (
+    SearchEngine,
+    ShardedCluster,
+    ZipfLoadGenerator,
+    compare_gate_strategies,
+    replay,
+    run_ab_test,
+)
 from repro.utils import SeedBank, print_table
 
 
@@ -56,6 +65,33 @@ def main() -> None:
         title="Gate-network cost (paper layer sizes, 1000-item history)",
     )
     print(f"Gate-resource saving: {report.gate_saving_factor:.0f}x (paper: >10x)")
+
+    # --- high-throughput stack: shards + micro-batching + gate cache ---
+    print("\nReplaying 300 Zipf-distributed queries through a 4-shard cluster ...")
+    cluster = ShardedCluster(
+        world, aw_moe, num_shards=4, seed=21, max_batch_size=16, flush_deadline_ms=50.0
+    )
+    events = ZipfLoadGenerator(
+        np.random.default_rng(13), world=world, zipf_exponent=1.2
+    ).generate(300)
+    replay(cluster, events)
+    summary = cluster.summary()
+    print_table(
+        ["Shard", "queries", "avg ms", "cache hit rate"],
+        [
+            [str(s["shard"]), str(s["queries"]), f"{s['avg_latency_ms']:.2f}",
+             f"{s['cache_hit_rate']:.1%}"]
+            for s in summary["shards"]
+        ],
+        title="Per-shard serving stats",
+    )
+    latency = summary["latency_ms"]
+    print(
+        f"Fleet: {summary['qps']:.0f} QPS, "
+        f"p50/p95/p99 = {latency['p50']:.1f}/{latency['p95']:.1f}/{latency['p99']:.1f} ms, "
+        f"mean batch {summary['mean_batch_size']:.1f}, "
+        f"gate-cache hit rate {summary['cache']['hit_rate']:.1%}"
+    )
 
     # --- §IV-I A/B test -------------------------------------------------
     print("\nRunning simulated A/B test (Category-MoE control vs AW-MoE & CL) ...")

@@ -61,12 +61,21 @@ class AWMoE(RankingModel):
     # ------------------------------------------------------------------
     # forward passes
     # ------------------------------------------------------------------
-    def forward(self, batch: Batch) -> Tensor:
-        """Ranking logits ``Σ_k g_k s_k`` with shape ``(B,)``."""
-        logits, _ = self.forward_with_gate(batch)
+    def forward(self, batch: Batch, gate_override: Optional[np.ndarray] = None) -> Tensor:
+        """Ranking logits ``Σ_k g_k s_k`` with shape ``(B,)``.
+
+        ``gate_override`` substitutes a precomputed gate matrix ``(B, K)``
+        for the gate-network forward pass.  The deployed system (§III-F1)
+        evaluates the gate once per user/query session and reuses it for
+        every candidate; the serving cache passes the stored vector here so
+        only the input network and the experts run per item.
+        """
+        logits, _ = self.forward_with_gate(batch, gate_override=gate_override)
         return logits
 
-    def forward_with_gate(self, batch: Batch) -> Tuple[Tensor, Tensor]:
+    def forward_with_gate(
+        self, batch: Batch, gate_override: Optional[np.ndarray] = None
+    ) -> Tuple[Tensor, Tensor]:
         """Return ``(logits, g)`` reusing one gate forward pass.
 
         The trainer uses the returned gate tensor as the anchor
@@ -75,13 +84,42 @@ class AWMoE(RankingModel):
         """
         v_imp = self.input_network(batch)
         scores = self.experts(v_imp)  # (B, K)
-        gate = self.gate(batch)  # (B, K)
+        if gate_override is None:
+            gate = self.gate(batch)  # (B, K)
+        else:
+            gate = self._coerce_gate(gate_override)
         logits = (gate * scores).sum(axis=1)
         return logits, gate
+
+    @staticmethod
+    def _coerce_gate(gate_override: np.ndarray) -> Tensor:
+        """Wrap a cached gate matrix for use in the forward pass."""
+        return Tensor(np.asarray(gate_override, dtype=np.float32))
+
+    @property
+    def gate_is_candidate_independent(self) -> bool:
+        """Whether ``g`` depends only on the user/query, not the candidate.
+
+        True in search mode, where the gate key is the query (§III-F1: the
+        deployed design computes the gate once per session).  In
+        recommendation mode the target item is the gate key, so the gate
+        must run per candidate and session-level caching is unsound.
+        """
+        return self.config.task == "search"
 
     def gate_vector(self, batch: Batch, mask_override: Optional[np.ndarray] = None) -> Tensor:
         """Gate output ``g``; with ``mask_override`` this is ``g(u')``."""
         return self.gate(batch, mask_override=mask_override)
+
+    def serving_gate(self, batch: Batch) -> np.ndarray:
+        """The gate the forward pass *applies*, as plain arrays.
+
+        This is what the serving cache stores and later feeds back through
+        ``gate_override``; subclasses that post-process the gate (e.g. the
+        sparse top-K extension) override this so cached vectors match their
+        forward semantics exactly.
+        """
+        return self.gate_outputs(batch)
 
     # ------------------------------------------------------------------
     # analysis helpers

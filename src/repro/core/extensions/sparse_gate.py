@@ -57,12 +57,24 @@ class SparseGatedAWMoE(AWMoE):
             )
         self.top_k = top_k
 
-    def forward_with_gate(self, batch: Batch) -> Tuple[Tensor, Tensor]:
+    def forward_with_gate(
+        self, batch: Batch, gate_override: Optional[np.ndarray] = None
+    ) -> Tuple[Tensor, Tensor]:
         v_imp = self.input_network(batch)
         scores = self.experts(v_imp)
-        gate = sparse_top_k(self.gate(batch), self.top_k)
+        if gate_override is None:
+            gate = sparse_top_k(self.gate(batch), self.top_k)
+        else:
+            # Cached session gates are stored post-sparsification (see
+            # serving_gate), so the override is applied as-is.
+            gate = self._coerce_gate(gate_override)
         logits = (gate * scores).sum(axis=1)
         return logits, gate
+
+    def serving_gate(self, batch: Batch) -> np.ndarray:
+        """Cacheable gate = raw gate sparsified, matching the forward pass."""
+        raw = self.gate_outputs(batch)
+        return sparse_top_k(Tensor(raw), self.top_k).numpy()
 
     def active_expert_fraction(self, batch: Batch) -> float:
         """Measured sparsity: mean fraction of experts with non-zero gate."""

@@ -27,20 +27,25 @@ class RankingModel(Module):
     def forward(self, batch: Batch) -> Tensor:
         raise NotImplementedError
 
-    def predict_logits(self, batch: Batch) -> np.ndarray:
-        """Raw logits without building an autograd graph."""
+    def predict_logits(self, batch: Batch, **forward_kwargs) -> np.ndarray:
+        """Raw logits without building an autograd graph.
+
+        ``forward_kwargs`` are passed through to :meth:`forward`; models with
+        extra inference knobs (e.g. AW-MoE's ``gate_override`` used by the
+        serving session cache) accept them there.
+        """
         was_training = self.training
         self.eval()
         try:
             with no_grad():
-                return self.forward(batch).numpy()
+                return self.forward(batch, **forward_kwargs).numpy()
         finally:
             if was_training:
                 self.train()
 
-    def predict_proba(self, batch: Batch) -> np.ndarray:
+    def predict_proba(self, batch: Batch, **forward_kwargs) -> np.ndarray:
         """Predicted interaction probabilities ``ŷ = σ(logit)``."""
-        logits = self.predict_logits(batch)
+        logits = self.predict_logits(batch, **forward_kwargs)
         return 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
 
     # ------------------------------------------------------------------

@@ -1,6 +1,14 @@
 """``repro.data`` — dataset generators, batching, splits, augmentations."""
 
 from repro.data.dataset import RankingDataset, iterate_batches
+from repro.data.features import (
+    UserState,
+    assemble_candidate_batch,
+    cross_features,
+    encode_behavior,
+    impression_features,
+    item_dense,
+)
 from repro.data.masking import (
     augment_mask,
     random_crop,
@@ -25,6 +33,12 @@ from repro.data.synthetic import (
 __all__ = [
     "RankingDataset",
     "iterate_batches",
+    "UserState",
+    "assemble_candidate_batch",
+    "cross_features",
+    "encode_behavior",
+    "impression_features",
+    "item_dense",
     "augment_mask",
     "random_crop",
     "random_mask",

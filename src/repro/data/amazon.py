@@ -27,7 +27,8 @@ import numpy as np
 
 from repro.data.dataset import RankingDataset
 from repro.data.schema import FEATURE_NAMES, DatasetMeta
-from repro.data.synthetic import World, WorldConfig, _item_dense, generate_world
+from repro.data.features import item_dense as _item_dense
+from repro.data.synthetic import World, WorldConfig, generate_world
 from repro.utils.rng import SeedBank
 
 __all__ = ["make_amazon_datasets", "amazon_meta"]

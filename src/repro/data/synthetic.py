@@ -41,6 +41,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.data.dataset import RankingDataset
+from repro.data.features import (
+    UserState,
+    cross_features,
+    encode_behavior,
+    impression_features,
+    item_dense,
+)
 from repro.data.schema import FEATURE_NAMES, DatasetMeta
 
 __all__ = [
@@ -330,70 +337,6 @@ class SearchLog:
         return len(self.label)
 
 
-class _UserState:
-    """Cached per-user history arrays for fast cross-feature computation."""
-
-    __slots__ = ("items", "categories", "brands", "shops", "prices", "length")
-
-    def __init__(self, world: World, user: int) -> None:
-        history = world.histories[user]
-        self.items = history
-        self.categories = world.item_category[history]
-        self.brands = world.item_brand[history]
-        self.shops = world.item_shop[history]
-        self.prices = world.item_price_pct[history]
-        self.length = len(history)
-
-
-def _cross_features(state: _UserState, world: World, candidates: np.ndarray) -> Dict[str, np.ndarray]:
-    """Two-sided user-item features for a session's candidate set (C,)."""
-    c = candidates.size
-    if state.length == 0:
-        zero = np.zeros(c)
-        return {
-            "item_click_cnt": zero,
-            "brand_click_cnt": zero.copy(),
-            "shop_click_cnt": zero.copy(),
-            "category_click_cnt": zero.copy(),
-            "brand_click_time_diff": np.ones(c),
-            "price_gap": zero.copy(),
-        }
-    cand_brand = world.item_brand[candidates][:, None]
-    cand_shop = world.item_shop[candidates][:, None]
-    cand_cat = world.item_category[candidates][:, None]
-    cand_item = candidates[:, None]
-
-    item_hits = state.items[None, :] == cand_item  # (C, H)
-    brand_hits = state.brands[None, :] == cand_brand
-    shop_hits = state.shops[None, :] == cand_shop
-    cat_hits = state.categories[None, :] == cand_cat
-
-    h = state.length
-    # Recency of the last same-brand interaction, normalized to [0, 1];
-    # 1.0 when the brand never occurs (matches "Brand_click_time_diff").
-    positions = np.arange(h)
-    last_brand_pos = np.where(brand_hits.any(axis=1), (brand_hits * (positions + 1)).max(axis=1) - 1, -1)
-    brand_time_diff = np.where(last_brand_pos >= 0, (h - 1 - last_brand_pos) / max(h, 1), 1.0)
-
-    cat_counts = cat_hits.sum(axis=1)
-    with np.errstate(invalid="ignore"):
-        mean_cat_price = np.where(
-            cat_counts > 0,
-            (cat_hits * state.prices[None, :]).sum(axis=1) / np.maximum(cat_counts, 1),
-            0.0,
-        )
-    price_gap = np.where(cat_counts > 0, world.item_price_pct[candidates] - mean_cat_price, 0.0)
-
-    return {
-        "item_click_cnt": item_hits.sum(axis=1).astype(float),
-        "brand_click_cnt": brand_hits.sum(axis=1).astype(float),
-        "shop_click_cnt": shop_hits.sum(axis=1).astype(float),
-        "category_click_cnt": cat_counts.astype(float),
-        "brand_click_time_diff": brand_time_diff,
-        "price_gap": price_gap,
-    }
-
-
 def _true_logits(
     world: World,
     user: int,
@@ -449,37 +392,6 @@ def _true_logits(
     return z
 
 
-def _item_dense(world: World, items: np.ndarray) -> np.ndarray:
-    """Per-item dense profile (price, popularity, quality, style)."""
-    return np.stack(
-        [
-            world.item_price_pct[items],
-            world.item_popularity[items],
-            world.item_quality[items],
-            world.item_style[items],
-        ],
-        axis=-1,
-    ).astype(np.float32)
-
-
-def _encode_behavior(
-    world: World, user: int, max_len: int
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Left-aligned, 0-padded (items, categories, dense, mask) rows."""
-    history = world.histories[user][-max_len:]
-    items = np.zeros(max_len, dtype=np.int32)
-    cats = np.zeros(max_len, dtype=np.int32)
-    dense = np.zeros((max_len, 4), dtype=np.float32)
-    mask = np.zeros(max_len, dtype=np.float32)
-    n = len(history)
-    if n:
-        items[:n] = history + 1
-        cats[:n] = world.item_category[history] + 1
-        dense[:n] = _item_dense(world, history)
-        mask[:n] = 1.0
-    return items, cats, dense, mask
-
-
 def simulate_search_log(
     world: World,
     num_sessions: int,
@@ -510,14 +422,14 @@ def simulate_search_log(
     rows_features: List[np.ndarray] = []
     behavior_rows: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
 
-    states: Dict[int, _UserState] = {}
+    states: Dict[int, UserState] = {}
     feature_count = len(FEATURE_NAMES)
 
     for s in range(num_sessions):
         user = int(rng.choice(n_users, p=user_probs))
         state = states.get(user)
         if state is None:
-            state = _UserState(world, user)
+            state = UserState(world, user)
             states[user] = state
 
         # Query: mostly driven by interests, with exploration.
@@ -541,12 +453,12 @@ def simulate_search_log(
         else:
             candidates = np.unique(in_cat)
 
-        cross = _cross_features(state, world, candidates)
+        cross = cross_features(state, world, candidates)
         logits = _true_logits(world, user, candidates, query_cat, cross)
         logits = logits + rng.normal(0, cfg.label_noise, size=logits.size)
         labels = (rng.random(logits.size) < 1.0 / (1.0 + np.exp(-logits))).astype(np.float32)
 
-        features = _impression_features(world, user, candidates, query_cat, spec, cross, state)
+        features = impression_features(world, user, candidates, query_cat, spec, cross, state)
         assert features.shape[1] == feature_count
 
         rows_session.append(start_session_id + s)
@@ -556,7 +468,7 @@ def simulate_search_log(
         rows_item.append(candidates + 1)
         rows_label.append(labels)
         rows_features.append(features)
-        behavior_rows.append(_encode_behavior(world, user, cfg.max_seq_len))
+        behavior_rows.append(encode_behavior(world, user, cfg.max_seq_len))
 
     counts = [len(items) for items in rows_item]
     session_col = np.repeat(np.asarray(rows_session, dtype=np.int64), counts)
@@ -595,36 +507,6 @@ def simulate_search_log(
     )
 
 
-def _impression_features(
-    world: World,
-    user: int,
-    candidates: np.ndarray,
-    query_cat: int,
-    spec: int,
-    cross: Dict[str, np.ndarray],
-    state: _UserState,
-) -> np.ndarray:
-    """Dense feature matrix (C, F) following ``FEATURE_NAMES`` order."""
-    cfg = world.config
-    c = candidates.size
-    features = np.zeros((c, len(FEATURE_NAMES)), dtype=np.float32)
-    features[:, 0] = np.log1p(state.length) / np.log1p(cfg.max_seq_len)
-    features[:, 1 + world.user_age[user]] = 1.0
-    features[:, 4] = world.item_price_pct[candidates]
-    features[:, 5] = world.item_sales[candidates]
-    features[:, 6] = world.item_popularity[candidates]
-    features[:, 7] = world.item_quality[candidates]
-    features[:, 8] = (world.item_category[candidates] == query_cat).astype(np.float32)
-    features[:, 9] = spec / max(cfg.num_query_specificities - 1, 1)
-    features[:, 10] = np.minimum(cross["item_click_cnt"], 3) / 3.0
-    features[:, 11] = np.minimum(cross["brand_click_cnt"], 5) / 5.0
-    features[:, 12] = np.minimum(cross["shop_click_cnt"], 5) / 5.0
-    features[:, 13] = np.minimum(cross["category_click_cnt"], 8) / 8.0
-    features[:, 14] = cross["brand_click_time_diff"]
-    features[:, 15] = cross["price_gap"]
-    return features
-
-
 # ----------------------------------------------------------------------
 # log -> dataset
 # ----------------------------------------------------------------------
@@ -636,7 +518,7 @@ def _dataset_from_rows(log: SearchLog, rows: np.ndarray) -> RankingDataset:
         behavior_mask=log.behavior_mask[rows],
         target_item=log.target_item[rows],
         target_category=(log.world.item_category[log.target_item[rows] - 1] + 1).astype(np.int32),
-        target_dense=_item_dense(log.world, log.target_item[rows] - 1),
+        target_dense=item_dense(log.world, log.target_item[rows] - 1),
         query=log.query[rows],
         query_category=log.query_category[rows],
         other_features=log.other_features[rows],

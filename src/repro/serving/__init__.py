@@ -1,6 +1,34 @@
-"""``repro.serving`` — deployment simulators (§III-F) and A/B testing (§IV-I)."""
+"""``repro.serving`` — the online serving stack (§III-F) and A/B testing (§IV-I).
+
+The serving pipeline mirrors the paper's Fig. 6 deployment, grown into a
+high-throughput subsystem::
+
+    traffic (loadgen) ──► shard router (cluster) ──► micro-batcher (batcher)
+                                                          │
+                             session cache (cache) ◄──────┤ gate reuse
+                                                          ▼
+                          retrieval + feature dump + model forward (engine)
+                                                          │
+                                metrics sink (metrics) ◄──┘ QPS / p99 / hits
+
+* :mod:`~repro.serving.engine` — retrieval, feature assembly, scoring;
+* :mod:`~repro.serving.batcher` — size/deadline micro-batching with one
+  gate evaluation per session (§III-F1);
+* :mod:`~repro.serving.cache` — LRU session cache for gate vectors and
+  behaviour encodings, with hit/miss accounting;
+* :mod:`~repro.serving.cluster` — deterministic user → shard hashing over
+  N independent workers;
+* :mod:`~repro.serving.loadgen` — Zipf user traffic with Poisson arrivals;
+* :mod:`~repro.serving.metrics` — QPS, latency percentiles, batch-size
+  histogram, cache hit rate;
+* :mod:`~repro.serving.cost` / :mod:`~repro.serving.ab_test` — the paper's
+  FLOP cost model and simulated online A/B test.
+"""
 
 from repro.serving.ab_test import ABTestResult, run_ab_test
+from repro.serving.batcher import MicroBatcher, PreparedQuery
+from repro.serving.cache import CacheStats, LRUCache, SessionCache
+from repro.serving.cluster import ShardedCluster, ShardWorker, shard_for_user
 from repro.serving.cost import (
     GateCostReport,
     compare_gate_strategies,
@@ -9,10 +37,20 @@ from repro.serving.cost import (
     model_flops,
 )
 from repro.serving.engine import RankedList, SearchEngine
+from repro.serving.loadgen import TrafficEvent, ZipfLoadGenerator, replay
+from repro.serving.metrics import ManualClock, MetricsSink, latency_percentile
 
 __all__ = [
     "ABTestResult",
     "run_ab_test",
+    "MicroBatcher",
+    "PreparedQuery",
+    "CacheStats",
+    "LRUCache",
+    "SessionCache",
+    "ShardedCluster",
+    "ShardWorker",
+    "shard_for_user",
     "GateCostReport",
     "compare_gate_strategies",
     "gate_network_flops",
@@ -20,4 +58,10 @@ __all__ = [
     "model_flops",
     "RankedList",
     "SearchEngine",
+    "TrafficEvent",
+    "ZipfLoadGenerator",
+    "replay",
+    "ManualClock",
+    "MetricsSink",
+    "latency_percentile",
 ]

@@ -17,7 +17,8 @@ from typing import Dict, Tuple
 import numpy as np
 
 from repro.core.ranking_model import RankingModel
-from repro.data.synthetic import World, _cross_features, _true_logits, _UserState
+from repro.data.features import UserState, cross_features
+from repro.data.synthetic import World, _true_logits
 from repro.eval.significance import two_proportion_z_test
 from repro.serving.engine import SearchEngine
 
@@ -64,11 +65,11 @@ def _simulate_user_session(
     interests = world.user_interests[user]
     query_category = int(rng.choice(len(interests), p=interests))
     ranking = engine.search(user, query_category)
-    state = _UserState(world, user)
+    state = UserState(world, user)
     clicked = False
     purchased = False
     shown = ranking.items[:top_k]
-    cross = _cross_features(state, world, shown)
+    cross = cross_features(state, world, shown)
     logits = _true_logits(world, user, shown, query_category, cross)
     preference = 1.0 / (1.0 + np.exp(-logits))
     for rank, pref in enumerate(preference):

@@ -1,0 +1,217 @@
+"""Micro-batch scheduler: coalesce concurrent queries into one forward.
+
+Production rankers never score one query at a time — a scheduler collects
+the queries that arrive within a short window and runs them through the
+model as a single batch, trading a bounded queueing delay for much higher
+hardware utilization.  This module implements that tick loop over the
+:class:`~repro.serving.engine.SearchEngine`:
+
+* a query is **prepared** at submit time (retrieval + feature assembly,
+  reusing the session cache's behaviour encodings);
+* the pending set is **flushed** — one concatenated model forward — when it
+  reaches ``max_batch_size`` or when the oldest entry has waited
+  ``flush_deadline_ms`` (checked by :meth:`MicroBatcher.poll`);
+* at flush, gate vectors are resolved per the §III-F1 deployed design: one
+  gate evaluation per *cache-missing session* (batched across sessions),
+  never one per candidate; cache hits skip the gate network entirely.
+
+Scores are identical to the one-query-at-a-time path — the batcher changes
+*when* the model runs, never *what* it computes — which
+``tests/serving/test_batcher.py`` asserts end to end.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.data.schema import Batch
+from repro.serving.cache import SessionCache
+from repro.serving.engine import RankedList, SearchEngine
+from repro.serving.metrics import MetricsSink
+
+__all__ = ["MicroBatcher", "PreparedQuery"]
+
+
+@dataclass
+class PreparedQuery:
+    """One enqueued query with its features assembled and gate resolved."""
+
+    user: int
+    query_category: int
+    candidates: np.ndarray
+    batch: Batch
+    gate: Optional[np.ndarray]  # (K,) cached session gate, None = cache miss
+    enqueue_time: float
+
+    @property
+    def num_candidates(self) -> int:
+        return int(self.candidates.size)
+
+
+class MicroBatcher:
+    """Deadline/size-triggered micro-batching over a :class:`SearchEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The retrieval + ranking pipeline to serve through.
+    max_batch_size:
+        Flush as soon as this many queries are pending (size trigger).
+    flush_deadline_ms:
+        Maximum queueing delay: :meth:`poll` flushes once the oldest pending
+        query has waited this long (deadline trigger).
+    cache:
+        Optional :class:`~repro.serving.cache.SessionCache`; enables gate
+        reuse across sessions and behaviour-encoding reuse across queries.
+    metrics:
+        Optional :class:`~repro.serving.metrics.MetricsSink` receiving
+        latency, batch-size, and cache accounting.
+    clock:
+        Time source in **seconds** (defaults to ``time.perf_counter``);
+        tests pass a :class:`~repro.serving.metrics.ManualClock`.
+    """
+
+    def __init__(
+        self,
+        engine: SearchEngine,
+        max_batch_size: int = 8,
+        flush_deadline_ms: float = 5.0,
+        cache: Optional[SessionCache] = None,
+        metrics: Optional[MetricsSink] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if flush_deadline_ms < 0:
+            raise ValueError(f"flush_deadline_ms must be >= 0, got {flush_deadline_ms}")
+        self.engine = engine
+        self.max_batch_size = int(max_batch_size)
+        self.flush_deadline_ms = float(flush_deadline_ms)
+        self.cache = cache
+        self.metrics = metrics if metrics is not None else MetricsSink(clock=clock)
+        self._clock = clock
+        self._pending: List[PreparedQuery] = []
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of queries waiting for the next flush."""
+        return len(self._pending)
+
+    def submit(self, user: int, query_category: int) -> List[RankedList]:
+        """Enqueue one query; returns flushed results when the size trigger
+        fires, an empty list otherwise."""
+        now = self._clock()
+        use_gate = self.engine.supports_session_gate
+        behavior = None
+        if self.cache is not None:
+            behavior = self.cache.get_behavior(user)
+            if behavior is None:
+                behavior = self.engine.encode_user_behavior(user)
+                self.cache.put_behavior(user, behavior)
+        candidates = self.engine.retrieve(query_category)
+        batch = self.engine.build_batch(user, query_category, candidates, behavior=behavior)
+        gate = None
+        if use_gate and self.cache is not None:
+            gate = self.cache.get_gate(user, query_category)
+        self._pending.append(
+            PreparedQuery(
+                user=user,
+                query_category=query_category,
+                candidates=candidates,
+                batch=batch,
+                gate=gate,
+                enqueue_time=now,
+            )
+        )
+        if len(self._pending) >= self.max_batch_size:
+            return self.flush()
+        return []
+
+    def poll(self) -> List[RankedList]:
+        """Flush if the oldest pending query has exceeded the deadline."""
+        if not self._pending:
+            return []
+        waited_ms = (self._clock() - self._pending[0].enqueue_time) * 1000.0
+        if waited_ms >= self.flush_deadline_ms:
+            return self.flush()
+        return []
+
+    def next_flush_due(self) -> Optional[float]:
+        """Clock time (seconds) when the deadline trigger next fires, or
+        ``None`` with nothing pending.  Simulated-time drivers advance the
+        clock here before polling so queueing latency reflects the deadline,
+        not the gap until the next arrival."""
+        if not self._pending:
+            return None
+        return self._pending[0].enqueue_time + self.flush_deadline_ms / 1000.0
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def flush(self) -> List[RankedList]:
+        """Score every pending query in one padded model forward."""
+        if not self._pending:
+            return []
+        pending, self._pending = self._pending, []
+        keys = pending[0].batch.keys()
+
+        gate_rows: Optional[np.ndarray] = None
+        if self.engine.supports_session_gate:
+            self._resolve_gates(pending, keys)
+            gate_rows = np.concatenate(
+                [np.tile(q.gate, (q.num_candidates, 1)) for q in pending], axis=0
+            )
+
+        combined: Batch = {
+            key: np.concatenate([q.batch[key] for q in pending], axis=0) for key in keys
+        }
+        scores = self.engine.score_candidates(combined, gate=gate_rows)
+        self.metrics.record_batch(len(pending))
+
+        results: List[RankedList] = []
+        done = self._clock()
+        offset = 0
+        for q in pending:
+            query_scores = scores[offset : offset + q.num_candidates]
+            offset += q.num_candidates
+            order = np.argsort(-query_scores, kind="stable")
+            latency_ms = (done - q.enqueue_time) * 1000.0
+            self.engine.record_query(latency_ms)
+            self.metrics.record_query(latency_ms, now=done)
+            results.append(
+                RankedList(
+                    user=q.user,
+                    query_category=q.query_category,
+                    items=q.candidates[order],
+                    scores=query_scores[order],
+                    latency_ms=latency_ms,
+                )
+            )
+        if self.cache is not None:
+            self.metrics.record_cache(self.cache.gates.stats)
+        return results
+
+    def _resolve_gates(self, pending: List[PreparedQuery], keys) -> None:
+        """Fill cache-missing gate vectors with ONE batched gate forward.
+
+        The gate is candidate-independent (§III-F1), so each missing session
+        contributes a single row — its first candidate — to the gate batch.
+        """
+        missing = [q for q in pending if q.gate is None]
+        if not missing:
+            return
+        gate_batch: Batch = {
+            key: np.concatenate([q.batch[key][:1] for q in missing], axis=0) for key in keys
+        }
+        gates = self.engine.model.serving_gate(gate_batch)  # (len(missing), K)
+        for q, gate in zip(missing, gates):
+            q.gate = gate
+            if self.cache is not None:
+                self.cache.put_gate(q.user, q.query_category, gate)

@@ -1,0 +1,158 @@
+"""Sharded serving cluster: hash users across N micro-batching workers.
+
+Scaling past one worker requires a router.  Users are hashed onto shards
+with a fixed multiplicative hash — *not* Python's randomized ``hash`` — so
+the mapping is deterministic across processes and runs: the same user always
+lands on the same worker, which is what makes per-shard session caches
+effective (a user's gate vectors and behaviour encodings live on exactly one
+shard and are never duplicated or thrashed across the fleet).
+
+Each shard owns a full serving stack: a :class:`~repro.serving.engine.SearchEngine`
+with its own RNG stream (derived from one :class:`~repro.utils.rng.SeedBank`
+root so the fleet is reproducible), a :class:`~repro.serving.cache.SessionCache`,
+a :class:`~repro.serving.batcher.MicroBatcher`, and a
+:class:`~repro.serving.metrics.MetricsSink`.  The cluster merges the
+per-shard sinks into one fleet report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.ranking_model import RankingModel
+from repro.data.synthetic import World
+from repro.serving.batcher import MicroBatcher
+from repro.serving.cache import SessionCache
+from repro.serving.engine import RankedList, SearchEngine
+from repro.serving.metrics import MetricsSink
+from repro.utils.rng import SeedBank
+
+__all__ = ["ShardWorker", "ShardedCluster", "shard_for_user"]
+
+#: Knuth's multiplicative hash constant (2^32 / golden ratio).
+_HASH_MULTIPLIER = 2654435761
+
+
+def shard_for_user(user: int, num_shards: int) -> int:
+    """Deterministic user → shard mapping (stable across runs/processes)."""
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    return int((int(user) * _HASH_MULTIPLIER) % (1 << 32)) % num_shards
+
+
+@dataclass
+class ShardWorker:
+    """One shard's serving stack."""
+
+    shard_id: int
+    engine: SearchEngine
+    cache: SessionCache
+    batcher: MicroBatcher
+    metrics: MetricsSink
+
+
+class ShardedCluster:
+    """Route queries across ``num_shards`` independent serving workers.
+
+    All shards score with the same (shared) model weights — as production
+    replicas do — but own disjoint RNG streams, caches, and batch queues.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        model: RankingModel,
+        num_shards: int,
+        seed: int = 0,
+        max_batch_size: int = 8,
+        flush_deadline_ms: float = 5.0,
+        cache_capacity: int = 512,
+        candidates_per_query: Optional[int] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = int(num_shards)
+        bank = SeedBank(seed)
+        self.workers: List[ShardWorker] = []
+        for shard_id in range(self.num_shards):
+            engine = SearchEngine(
+                world,
+                model,
+                bank.child(f"shard-{shard_id}"),
+                candidates_per_query=candidates_per_query,
+            )
+            cache = SessionCache(cache_capacity)
+            metrics = MetricsSink(clock=clock)
+            batcher = MicroBatcher(
+                engine,
+                max_batch_size=max_batch_size,
+                flush_deadline_ms=flush_deadline_ms,
+                cache=cache,
+                metrics=metrics,
+                clock=clock,
+            )
+            self.workers.append(ShardWorker(shard_id, engine, cache, batcher, metrics))
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_for(self, user: int) -> int:
+        return shard_for_user(user, self.num_shards)
+
+    def worker_for(self, user: int) -> ShardWorker:
+        return self.workers[self.shard_for(user)]
+
+    def submit(self, user: int, query_category: int) -> List[RankedList]:
+        """Route one query to its owning shard's batcher."""
+        return self.worker_for(user).batcher.submit(user, query_category)
+
+    def poll(self) -> List[RankedList]:
+        """Deadline check on every shard; returns all flushed results."""
+        results: List[RankedList] = []
+        for worker in self.workers:
+            results.extend(worker.batcher.poll())
+        return results
+
+    def next_flush_due(self) -> Optional[float]:
+        """Earliest deadline-trigger time across shards (``None`` if idle)."""
+        dues = [
+            due
+            for worker in self.workers
+            if (due := worker.batcher.next_flush_due()) is not None
+        ]
+        return min(dues) if dues else None
+
+    def flush(self) -> List[RankedList]:
+        """Force-flush every shard (end-of-traffic drain)."""
+        results: List[RankedList] = []
+        for worker in self.workers:
+            results.extend(worker.batcher.flush())
+        return results
+
+    # ------------------------------------------------------------------
+    # fleet metrics
+    # ------------------------------------------------------------------
+    def merged_metrics(self) -> MetricsSink:
+        """All shard sinks pooled into one fleet-level sink."""
+        merged = self.workers[0].metrics
+        for worker in self.workers[1:]:
+            merged = merged.merge(worker.metrics)
+        return merged
+
+    def summary(self) -> Dict[str, object]:
+        """Fleet report: merged headline metrics plus a per-shard breakdown."""
+        fleet = self.merged_metrics().summary()
+        fleet["num_shards"] = self.num_shards
+        fleet["shards"] = [
+            {
+                "shard": worker.shard_id,
+                "queries": worker.metrics.queries,
+                "avg_latency_ms": worker.engine.avg_latency_ms,
+                "cache_hit_rate": worker.cache.gate_hit_rate,
+            }
+            for worker in self.workers
+        ]
+        return fleet

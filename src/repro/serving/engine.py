@@ -5,26 +5,35 @@ candidate items (popularity-biased within the query category, like the
 production candidate generator) → the ranking model scores every candidate →
 the engine returns the ranked list.  Latency per query is measured so the
 deployment benchmark can report the per-session gate optimization end to end.
+
+The engine exposes two scoring paths:
+
+* :meth:`SearchEngine.search` — the classic one-query-per-call loop: one
+  full model forward (gate included) per query;
+* :meth:`SearchEngine.score_candidates` + :meth:`SearchEngine.session_gate`
+  — the decomposed path used by the micro-batcher
+  (:mod:`repro.serving.batcher`): the gate is evaluated once per session
+  (and cached across sessions by :mod:`repro.serving.cache`), while the
+  input network and experts run per candidate, matching the deployed design
+  of §III-F1.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from repro.core.ranking_model import RankingModel
-from repro.data.schema import Batch
-from repro.data.synthetic import (
-    World,
-    _cross_features,
-    _encode_behavior,
-    _impression_features,
-    _item_dense,
-    _UserState,
+from repro.data.features import (
+    BehaviorEncoding,
+    assemble_candidate_batch,
+    encode_behavior,
 )
+from repro.data.schema import Batch
+from repro.data.synthetic import World
 
 __all__ = ["RankedList", "SearchEngine"]
 
@@ -65,53 +74,86 @@ class SearchEngine:
     # pipeline stages
     # ------------------------------------------------------------------
     def retrieve(self, query_category: int) -> np.ndarray:
-        """Candidate generation: popularity-biased sample within category."""
+        """Candidate generation: popularity-biased sample within category.
+
+        When the category holds fewer items than ``candidates_per_query``
+        the whole category is returned (no sampling, no RNG draw) — small
+        categories always expose their full inventory.
+        """
         members = self._by_category[query_category]
         if members.size == 0:
             raise ValueError(f"category {query_category} has no items")
-        k = min(members.size, self.candidates_per_query)
+        if members.size <= self.candidates_per_query:
+            return members.copy()
         weights = self.world.item_popularity[members] ** 0.7 + 1e-3
         weights = weights / weights.sum()
-        return self._rng.choice(members, size=k, replace=False, p=weights)
+        return self._rng.choice(
+            members, size=self.candidates_per_query, replace=False, p=weights
+        )
 
     def build_batch(
-        self, user: int, query_category: int, candidates: np.ndarray, spec: int = 1
+        self,
+        user: int,
+        query_category: int,
+        candidates: np.ndarray,
+        spec: int = 1,
+        behavior: Optional[BehaviorEncoding] = None,
     ) -> Batch:
         """Feature assembly for (user, query, candidates) — the feature dump
-        step of Fig. 6."""
-        world = self.world
-        state = _UserState(world, user)
-        cross = _cross_features(state, world, candidates)
-        features = _impression_features(world, user, candidates, query_category, spec, cross, state)
-        items, cats, dense, mask = _encode_behavior(world, user, world.config.max_seq_len)
-        count = candidates.size
-        query_id = query_category * world.config.num_query_specificities + spec + 1
-        return {
-            "behavior_items": np.tile(items, (count, 1)),
-            "behavior_categories": np.tile(cats, (count, 1)),
-            "behavior_dense": np.tile(dense, (count, 1, 1)),
-            "behavior_mask": np.tile(mask, (count, 1)),
-            "target_item": (candidates + 1).astype(np.int32),
-            "target_category": (world.item_category[candidates] + 1).astype(np.int32),
-            "target_dense": _item_dense(world, candidates),
-            "query": np.full(count, query_id, dtype=np.int32),
-            "query_category": np.full(count, query_category + 1, dtype=np.int32),
-            "other_features": features.astype(np.float32),
-            "label": np.zeros(count, dtype=np.float32),
-            "session_id": np.zeros(count, dtype=np.int64),
-            "user_id": np.full(count, user, dtype=np.int64),
-        }
+        step of Fig. 6.  ``behavior`` accepts a cached encoding so hot users
+        skip re-encoding their history."""
+        return assemble_candidate_batch(
+            self.world, user, query_category, candidates, spec=spec, behavior=behavior
+        )
+
+    def encode_user_behavior(self, user: int) -> BehaviorEncoding:
+        """Padded behaviour-sequence arrays for one user (cacheable)."""
+        return encode_behavior(self.world, user, self.world.config.max_seq_len)
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def score_candidates(self, batch: Batch, gate: Optional[np.ndarray] = None) -> np.ndarray:
+        """Predicted probabilities for every row of ``batch``.
+
+        ``gate`` is an optional precomputed gate matrix ``(B, K)`` (or a
+        single ``(K,)`` session vector, broadcast to all rows); models that
+        support gate overrides skip the gate network entirely — the §III-F1
+        serving optimization.
+        """
+        if gate is not None and self.supports_session_gate:
+            gate = np.asarray(gate, dtype=np.float32)
+            if gate.ndim == 1:
+                gate = np.tile(gate, (int(batch["label"].shape[0]), 1))
+            return self.model.predict_proba(batch, gate_override=gate)
+        return self.model.predict_proba(batch)
+
+    @property
+    def supports_session_gate(self) -> bool:
+        """Whether the model's gate can be computed once per session."""
+        return bool(getattr(self.model, "gate_is_candidate_independent", False))
+
+    def session_gate(self, batch: Batch) -> Optional[np.ndarray]:
+        """The session's gate vector ``g`` (shape ``(K,)``), or ``None``.
+
+        Only valid for models whose gate ignores the candidate (AW-MoE in
+        search mode): the vector is computed from the batch's first row and
+        applies to every candidate of the session.
+        """
+        if not self.supports_session_gate:
+            return None
+        row = {key: value[:1] for key, value in batch.items()}
+        return self.model.serving_gate(row)[0]
 
     def search(self, user: int, query_category: int) -> RankedList:
         """Serve one query end to end and record latency."""
         start = time.perf_counter()
         candidates = self.retrieve(query_category)
         batch = self.build_batch(user, query_category, candidates)
-        scores = self.model.predict_proba(batch)
+        scores = self.score_candidates(batch)
         order = np.argsort(-scores, kind="stable")
         elapsed_ms = (time.perf_counter() - start) * 1000.0
-        self.queries_served += 1
-        self.total_latency_ms += elapsed_ms
+        self.record_query(elapsed_ms)
         return RankedList(
             user=user,
             query_category=query_category,
@@ -120,9 +162,27 @@ class SearchEngine:
             latency_ms=elapsed_ms,
         )
 
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def record_query(self, latency_ms: float) -> None:
+        """Account one served query (also used by the micro-batcher)."""
+        self.queries_served += 1
+        self.total_latency_ms += latency_ms
+
+    def reset_stats(self) -> None:
+        """Zero the latency accounting (e.g. between benchmark phases)."""
+        self.queries_served = 0
+        self.total_latency_ms = 0.0
+
     @property
-    def mean_latency_ms(self) -> float:
+    def avg_latency_ms(self) -> float:
         """Average serving latency over all queries so far."""
         if self.queries_served == 0:
             return 0.0
         return self.total_latency_ms / self.queries_served
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Alias of :attr:`avg_latency_ms` (historical name)."""
+        return self.avg_latency_ms

@@ -1,0 +1,159 @@
+"""Serving metrics: QPS, latency percentiles, batch sizes, cache hit rate.
+
+Every serving component (engine, micro-batcher, shard workers) reports into
+a :class:`MetricsSink`; the cluster merges per-shard sinks into one fleet
+view.  The sink is pure accounting — it never influences scheduling — so
+tests can assert on it without perturbing behaviour.
+
+:class:`ManualClock` provides a deterministic time source: the batcher and
+load generator accept any ``() -> float`` callable, so tests advance time
+explicitly instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serving.cache import CacheStats
+
+__all__ = ["ManualClock", "MetricsSink", "latency_percentile"]
+
+
+class ManualClock:
+    """Deterministic clock: time moves only when the test advances it."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("clock cannot move backwards")
+        self._now += seconds
+
+    def advance_to(self, timestamp: float) -> None:
+        self._now = max(self._now, float(timestamp))
+
+
+def latency_percentile(latencies_ms: Sequence[float], percentile: float) -> float:
+    """Nearest-rank percentile of recorded latencies (0.0 when empty)."""
+    if not 0 < percentile <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+    values = np.sort(np.asarray(latencies_ms, dtype=float))
+    if values.size == 0:
+        return 0.0
+    rank = max(int(np.ceil(percentile / 100.0 * values.size)) - 1, 0)
+    return float(values[rank])
+
+
+class MetricsSink:
+    """Accumulates per-query latencies, batch sizes, and cache counters."""
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self.latencies_ms: List[float] = []
+        self.batch_sizes: List[int] = []
+        self.cache_stats = CacheStats()
+        self._first_ts: Optional[float] = None
+        self._last_ts: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_query(self, latency_ms: float, now: Optional[float] = None) -> None:
+        """One served query: its end-to-end latency and completion time."""
+        now = self._clock() if now is None else now
+        self.latencies_ms.append(float(latency_ms))
+        if self._first_ts is None:
+            self._first_ts = now
+        self._last_ts = now
+
+    def record_batch(self, size: int) -> None:
+        """One model forward covering ``size`` coalesced queries."""
+        self.batch_sizes.append(int(size))
+
+    def record_cache(self, stats: CacheStats) -> None:
+        """Snapshot cache counters (overwrites the previous snapshot)."""
+        self.cache_stats = CacheStats(stats.hits, stats.misses, stats.evictions)
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    @property
+    def queries(self) -> int:
+        return len(self.latencies_ms)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Span between first and last recorded query completion."""
+        if self._first_ts is None or self._last_ts is None:
+            return 0.0
+        return self._last_ts - self._first_ts
+
+    @property
+    def qps(self) -> float:
+        """Observed throughput over the recorded span."""
+        span = self.wall_seconds
+        if span <= 0.0:
+            return 0.0
+        return self.queries / span
+
+    def percentile(self, p: float) -> float:
+        return latency_percentile(self.latencies_ms, p)
+
+    def batch_size_histogram(self) -> Dict[int, int]:
+        """``{batch size: number of forwards}`` over all flushes."""
+        histogram: Dict[int, int] = {}
+        for size in self.batch_sizes:
+            histogram[size] = histogram.get(size, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return float(np.mean(self.batch_sizes))
+
+    def merge(self, other: "MetricsSink") -> "MetricsSink":
+        """Fleet-level union of two sinks (latencies pooled, spans unioned)."""
+        merged = MetricsSink(clock=self._clock)
+        merged.latencies_ms = self.latencies_ms + other.latencies_ms
+        merged.batch_sizes = self.batch_sizes + other.batch_sizes
+        merged.cache_stats = self.cache_stats.merge(other.cache_stats)
+        stamps = [ts for ts in (self._first_ts, other._first_ts) if ts is not None]
+        merged._first_ts = min(stamps) if stamps else None
+        stamps = [ts for ts in (self._last_ts, other._last_ts) if ts is not None]
+        merged._last_ts = max(stamps) if stamps else None
+        return merged
+
+    def summary(self) -> Dict[str, object]:
+        """One JSON-serializable report of every headline metric."""
+        return {
+            "queries": self.queries,
+            "qps": self.qps,
+            "latency_ms": {
+                "mean": float(np.mean(self.latencies_ms)) if self.latencies_ms else 0.0,
+                "p50": self.percentile(50),
+                "p95": self.percentile(95),
+                "p99": self.percentile(99),
+            },
+            "batches": len(self.batch_sizes),
+            "mean_batch_size": self.mean_batch_size,
+            "batch_size_histogram": {
+                str(size): count for size, count in self.batch_size_histogram().items()
+            },
+            "cache": {
+                "hits": self.cache_stats.hits,
+                "misses": self.cache_stats.misses,
+                "evictions": self.cache_stats.evictions,
+                "hit_rate": self.cache_stats.hit_rate,
+            },
+        }

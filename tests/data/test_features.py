@@ -1,0 +1,117 @@
+"""Public feature-assembly API (``repro.data.features``)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    UserState,
+    assemble_candidate_batch,
+    cross_features,
+    encode_behavior,
+    impression_features,
+    item_dense,
+)
+from repro.data.schema import FEATURE_NAMES, validate_batch
+
+
+def _active_user(world):
+    for user in range(world.num_users):
+        if world.history_length(user) >= 3:
+            return user
+    raise AssertionError("no active user in unit world")
+
+
+class TestUserState:
+    def test_caches_history_arrays(self, unit_world):
+        user = _active_user(unit_world)
+        state = UserState(unit_world, user)
+        history = unit_world.histories[user]
+        assert state.length == len(history)
+        np.testing.assert_array_equal(state.categories, unit_world.item_category[history])
+        np.testing.assert_array_equal(state.brands, unit_world.item_brand[history])
+
+    def test_empty_history(self, unit_world):
+        empties = [u for u in range(unit_world.num_users) if unit_world.history_length(u) == 0]
+        assert empties, "unit world should contain new users"
+        state = UserState(unit_world, empties[0])
+        assert state.length == 0
+
+
+class TestCrossFeatures:
+    def test_keys_and_shapes(self, unit_world):
+        user = _active_user(unit_world)
+        state = UserState(unit_world, user)
+        candidates = np.arange(5)
+        cross = cross_features(state, unit_world, candidates)
+        for key, values in cross.items():
+            assert values.shape == (5,), key
+
+    def test_empty_history_defaults(self, unit_world):
+        empties = [u for u in range(unit_world.num_users) if unit_world.history_length(u) == 0]
+        state = UserState(unit_world, empties[0])
+        cross = cross_features(state, unit_world, np.arange(4))
+        assert np.all(cross["item_click_cnt"] == 0)
+        assert np.all(cross["brand_click_time_diff"] == 1.0)
+
+    def test_item_click_counts_history(self, unit_world):
+        user = _active_user(unit_world)
+        state = UserState(unit_world, user)
+        seen = unit_world.histories[user][0]
+        cross = cross_features(state, unit_world, np.array([seen]))
+        assert cross["item_click_cnt"][0] >= 1
+
+
+class TestEncodeBehavior:
+    def test_padding_and_mask(self, unit_world):
+        user = _active_user(unit_world)
+        max_len = unit_world.config.max_seq_len
+        items, cats, dense, mask = encode_behavior(unit_world, user, max_len)
+        n = min(unit_world.history_length(user), max_len)
+        assert items.shape == (max_len,)
+        assert dense.shape == (max_len, 4)
+        assert mask.sum() == n
+        assert np.all(items[n:] == 0)
+
+    def test_item_dense_columns(self, unit_world):
+        dense = item_dense(unit_world, np.arange(3))
+        np.testing.assert_allclose(dense[:, 0], unit_world.item_price_pct[:3], rtol=1e-6)
+        np.testing.assert_allclose(dense[:, 3], unit_world.item_style[:3], rtol=1e-6)
+
+
+class TestAssembleCandidateBatch:
+    def test_batch_is_valid(self, unit_world):
+        user = _active_user(unit_world)
+        candidates = np.arange(6)
+        batch = assemble_candidate_batch(unit_world, user, 1, candidates)
+        validate_batch(batch)
+        assert batch["label"].shape == (6,)
+        np.testing.assert_array_equal(batch["target_item"], candidates + 1)
+
+    def test_precomputed_behavior_identical(self, unit_world):
+        """The cached-behaviour path must not change a single byte."""
+        user = _active_user(unit_world)
+        candidates = np.arange(4)
+        fresh = assemble_candidate_batch(unit_world, user, 2, candidates)
+        behavior = encode_behavior(unit_world, user, unit_world.config.max_seq_len)
+        cached = assemble_candidate_batch(unit_world, user, 2, candidates, behavior=behavior)
+        for key in fresh:
+            np.testing.assert_array_equal(fresh[key], cached[key], err_msg=key)
+
+    def test_matches_simulated_log_features(self, unit_world):
+        """Serving-side assembly equals the offline generator's features."""
+        user = _active_user(unit_world)
+        state = UserState(unit_world, user)
+        candidates = np.arange(5)
+        cross = cross_features(state, unit_world, candidates)
+        features = impression_features(unit_world, user, candidates, 1, 1, cross, state)
+        batch = assemble_candidate_batch(unit_world, user, 1, candidates, spec=1)
+        np.testing.assert_array_equal(batch["other_features"], features.astype(np.float32))
+        assert features.shape[1] == len(FEATURE_NAMES)
+
+    def test_offline_generator_uses_same_implementation(self):
+        """The synthetic log generator scores with these exact functions."""
+        import repro.data.synthetic as synthetic
+
+        assert synthetic.cross_features is cross_features
+        assert synthetic.impression_features is impression_features
+        assert synthetic.encode_behavior is encode_behavior

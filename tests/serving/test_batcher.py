@@ -1,0 +1,154 @@
+"""Micro-batcher: flush triggers, gate caching, and score parity.
+
+The central invariant: micro-batching (with or without the session gate
+cache) changes *when* the model runs, never *what* it computes — batched
+rankings must match the one-query-at-a-time path exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig, build_model
+from repro.serving import ManualClock, MetricsSink, MicroBatcher, SearchEngine, SessionCache
+
+#: Repeated (user, query-category) traffic: users 3 and 5 re-issue sessions.
+TRAFFIC = [(3, 2), (5, 1), (3, 2), (9, 0), (5, 1), (3, 4), (3, 2), (11, 2)]
+
+
+def _engine(unit_world, test_set, model_name="aw_moe", seed=1):
+    model = build_model(model_name, ModelConfig.unit(), test_set.meta, np.random.default_rng(0))
+    return SearchEngine(unit_world, model, np.random.default_rng(seed))
+
+
+class TestFlushTriggers:
+    def test_flush_on_size(self, unit_world, test_set):
+        clock = ManualClock()
+        batcher = MicroBatcher(
+            _engine(unit_world, test_set), max_batch_size=3, flush_deadline_ms=1e9, clock=clock
+        )
+        assert batcher.submit(1, 0) == []
+        assert batcher.submit(2, 1) == []
+        results = batcher.submit(3, 2)  # third query hits the size trigger
+        assert len(results) == 3
+        assert batcher.pending == 0
+        assert batcher.metrics.batch_sizes == [3]
+
+    def test_flush_on_deadline(self, unit_world, test_set):
+        clock = ManualClock()
+        batcher = MicroBatcher(
+            _engine(unit_world, test_set), max_batch_size=100, flush_deadline_ms=5.0, clock=clock
+        )
+        batcher.submit(1, 0)
+        clock.advance(0.004)  # 4 ms < 5 ms deadline
+        assert batcher.poll() == []
+        clock.advance(0.002)  # 6 ms total
+        results = batcher.poll()
+        assert len(results) == 1
+        assert results[0].latency_ms == pytest.approx(6.0)
+
+    def test_poll_without_pending_is_noop(self, unit_world, test_set):
+        batcher = MicroBatcher(_engine(unit_world, test_set), clock=ManualClock())
+        assert batcher.poll() == []
+        assert batcher.flush() == []
+
+    def test_invalid_parameters_rejected(self, unit_world, test_set):
+        engine = _engine(unit_world, test_set)
+        with pytest.raises(ValueError):
+            MicroBatcher(engine, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(engine, flush_deadline_ms=-1.0)
+
+    def test_queueing_latency_accounted_per_query(self, unit_world, test_set):
+        clock = ManualClock()
+        batcher = MicroBatcher(
+            _engine(unit_world, test_set), max_batch_size=2, flush_deadline_ms=1e9, clock=clock
+        )
+        batcher.submit(1, 0)
+        clock.advance(0.010)
+        results = batcher.submit(2, 1)
+        assert results[0].latency_ms == pytest.approx(10.0)  # waited in queue
+        assert results[1].latency_ms == pytest.approx(0.0)
+
+
+class TestScoreParity:
+    def _run_both_paths(self, unit_world, test_set, cache):
+        single = _engine(unit_world, test_set, seed=1)
+        batched_engine = _engine(unit_world, test_set, seed=1)
+        batcher = MicroBatcher(
+            batched_engine,
+            max_batch_size=4,
+            flush_deadline_ms=1e9,
+            cache=cache,
+            clock=ManualClock(),
+        )
+        expected = [single.search(user, qcat) for user, qcat in TRAFFIC]
+        got = []
+        for user, qcat in TRAFFIC:
+            got.extend(batcher.submit(user, qcat))
+        got.extend(batcher.flush())
+        return expected, got
+
+    @pytest.mark.parametrize("with_cache", [False, True])
+    def test_batched_identical_to_single_query(self, unit_world, test_set, with_cache):
+        """Acceptance: batched (+cached) rankings == per-query rankings."""
+        cache = SessionCache(64) if with_cache else None
+        expected, got = self._run_both_paths(unit_world, test_set, cache)
+        assert len(got) == len(expected)
+        for want, have in zip(expected, got):
+            assert (want.user, want.query_category) == (have.user, have.query_category)
+            np.testing.assert_array_equal(want.items, have.items)
+            np.testing.assert_allclose(want.scores, have.scores, rtol=1e-6, atol=1e-7)
+
+    def test_cache_hits_under_repeated_traffic(self, unit_world, test_set):
+        cache = SessionCache(64)
+        _, got = self._run_both_paths(unit_world, test_set, cache)
+        assert len(got) == len(TRAFFIC)
+        # Repeats landing in a *later* batch than their first sight hit the
+        # cache: the second (5, 1) and the third (3, 2).  The second (3, 2)
+        # misses — it shares the first batch with its first sight, whose
+        # gate is only published at flush.
+        assert cache.gates.stats.hits == 2
+        assert cache.gate_hit_rate > 0.0
+        # Behaviour encodings are keyed by user: 4 distinct users miss once.
+        assert cache.behaviors.stats.misses == 4
+
+    def test_gateless_model_still_batches(self, unit_world, test_set):
+        """DNN has no candidate-independent gate: batching must still work
+        (coalesced forward, no gate cache accounting)."""
+        single = _engine(unit_world, test_set, model_name="dnn", seed=1)
+        batched_engine = _engine(unit_world, test_set, model_name="dnn", seed=1)
+        assert not batched_engine.supports_session_gate
+        cache = SessionCache(64)
+        batcher = MicroBatcher(
+            batched_engine, max_batch_size=4, flush_deadline_ms=1e9, cache=cache,
+            clock=ManualClock(),
+        )
+        expected = [single.search(user, qcat) for user, qcat in TRAFFIC]
+        got = []
+        for user, qcat in TRAFFIC:
+            got.extend(batcher.submit(user, qcat))
+        got.extend(batcher.flush())
+        for want, have in zip(expected, got):
+            np.testing.assert_array_equal(want.items, have.items)
+            np.testing.assert_allclose(want.scores, have.scores, rtol=1e-6, atol=1e-7)
+        assert cache.gates.stats.lookups == 0  # gate cache never consulted
+
+
+class TestAccounting:
+    def test_engine_stats_cover_batched_traffic(self, unit_world, test_set):
+        engine = _engine(unit_world, test_set)
+        batcher = MicroBatcher(engine, max_batch_size=2, clock=ManualClock())
+        for user, qcat in TRAFFIC[:4]:
+            batcher.submit(user, qcat)
+        assert engine.queries_served == 4
+
+    def test_batch_size_histogram(self, unit_world, test_set):
+        batcher = MicroBatcher(
+            _engine(unit_world, test_set), max_batch_size=3, flush_deadline_ms=1e9,
+            clock=ManualClock(),
+        )
+        for user, qcat in TRAFFIC[:7]:  # 7 queries -> flushes of 3, 3, then 1
+            batcher.submit(user, qcat)
+        batcher.flush()
+        assert batcher.metrics.batch_size_histogram() == {1: 1, 3: 2}
+        assert batcher.metrics.queries == 7

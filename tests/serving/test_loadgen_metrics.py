@@ -1,0 +1,169 @@
+"""Load generator (Zipf traffic, Poisson arrivals) and metrics sink."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig, build_model
+from repro.serving import (
+    ManualClock,
+    MetricsSink,
+    MicroBatcher,
+    SearchEngine,
+    SessionCache,
+    ZipfLoadGenerator,
+    latency_percentile,
+    replay,
+)
+
+
+class TestZipfLoadGenerator:
+    def test_deterministic_given_seed(self, unit_world):
+        make = lambda: ZipfLoadGenerator(np.random.default_rng(4), world=unit_world).generate(50)
+        assert make() == make()
+
+    def test_arrival_times_monotone(self, unit_world):
+        events = ZipfLoadGenerator(np.random.default_rng(4), world=unit_world).generate(100)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    def test_traffic_is_skewed(self, unit_world):
+        """Zipf exponent > 0 concentrates traffic on few users — the regime
+        where the session cache pays off."""
+        events = ZipfLoadGenerator(
+            np.random.default_rng(4), world=unit_world, zipf_exponent=1.1
+        ).generate(400)
+        counts = np.bincount([e.user for e in events], minlength=unit_world.num_users)
+        top10_share = np.sort(counts)[-10:].sum() / 400
+        assert top10_share > 0.5
+
+    def test_zero_exponent_roughly_uniform(self, unit_world):
+        events = ZipfLoadGenerator(
+            np.random.default_rng(4), world=unit_world, zipf_exponent=0.0
+        ).generate(400)
+        counts = np.bincount([e.user for e in events], minlength=unit_world.num_users)
+        assert counts.max() <= 12  # no user dominates without skew
+
+    def test_categories_follow_interests(self, unit_world):
+        events = ZipfLoadGenerator(np.random.default_rng(4), world=unit_world).generate(300)
+        for event in events[:50]:
+            assert unit_world.user_interests[event.user, event.query_category] > 0
+
+    def test_world_free_mode(self):
+        generator = ZipfLoadGenerator(
+            np.random.default_rng(0), num_users=50, num_categories=5
+        )
+        events = generator.generate(20)
+        assert all(0 <= e.user < 50 and 0 <= e.query_category < 5 for e in events)
+
+    def test_parameter_validation(self, unit_world):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ZipfLoadGenerator(rng)  # neither world nor sizes
+        with pytest.raises(ValueError):
+            ZipfLoadGenerator(rng, world=unit_world, zipf_exponent=-1)
+        with pytest.raises(ValueError):
+            ZipfLoadGenerator(rng, world=unit_world, target_qps=0)
+
+
+class TestReplay:
+    def test_replay_drains_every_event(self, unit_world, test_set):
+        model = build_model("aw_moe", ModelConfig.unit(), test_set.meta, np.random.default_rng(0))
+        clock = ManualClock()
+        engine = SearchEngine(unit_world, model, np.random.default_rng(1))
+        batcher = MicroBatcher(
+            engine, max_batch_size=4, flush_deadline_ms=20.0,
+            cache=SessionCache(128), clock=clock,
+        )
+        events = ZipfLoadGenerator(
+            np.random.default_rng(4), world=unit_world, target_qps=500.0
+        ).generate(30)
+        results = replay(batcher, events, clock=clock)
+        assert len(results) == 30
+        assert engine.queries_served == 30
+        # Deadline flushes fired along the way: more than one batch, none
+        # larger than the size cap.
+        assert len(batcher.metrics.batch_sizes) >= 2
+        assert max(batcher.metrics.batch_sizes) <= 4
+
+    def test_sparse_traffic_latency_bounded_by_deadline(self, unit_world, test_set):
+        """Deadline flushes fire *at the deadline* in simulated time, not at
+        the next arrival — a 10 s traffic gap must not inflate latency."""
+        from repro.serving import TrafficEvent
+
+        model = build_model("aw_moe", ModelConfig.unit(), test_set.meta, np.random.default_rng(0))
+        clock = ManualClock()
+        batcher = MicroBatcher(
+            SearchEngine(unit_world, model, np.random.default_rng(1)),
+            max_batch_size=100,
+            flush_deadline_ms=50.0,
+            clock=clock,
+        )
+        events = [
+            TrafficEvent(time=0.001, user=1, query_category=0),
+            TrafficEvent(time=10.0, user=2, query_category=1),
+        ]
+        results = replay(batcher, events, clock=clock)
+        assert len(results) == 2
+        assert results[0].latency_ms == pytest.approx(50.0)
+        assert results[1].latency_ms == pytest.approx(50.0)
+
+
+class TestMetricsSink:
+    def test_percentiles_nearest_rank(self):
+        latencies = list(range(1, 101))  # 1..100 ms
+        assert latency_percentile(latencies, 50) == 50
+        assert latency_percentile(latencies, 95) == 95
+        assert latency_percentile(latencies, 99) == 99
+        assert latency_percentile(latencies, 100) == 100
+        assert latency_percentile([], 50) == 0.0
+        with pytest.raises(ValueError):
+            latency_percentile(latencies, 0)
+
+    def test_qps_over_recorded_span(self):
+        clock = ManualClock()
+        sink = MetricsSink(clock=clock)
+        for _ in range(11):
+            sink.record_query(1.0)
+            clock.advance(0.1)
+        # 11 queries recorded across a 1-second span (first at t=0, last at t=1).
+        assert sink.qps == pytest.approx(11 / 1.0)
+
+    def test_qps_zero_without_span(self):
+        sink = MetricsSink(clock=ManualClock())
+        assert sink.qps == 0.0
+        sink.record_query(1.0)
+        assert sink.qps == 0.0  # single instant, no span
+
+    def test_merge_pools_everything(self):
+        clock = ManualClock()
+        a, b = MetricsSink(clock=clock), MetricsSink(clock=clock)
+        a.record_query(1.0, now=0.0)
+        b.record_query(3.0, now=2.0)
+        a.record_batch(2)
+        b.record_batch(4)
+        merged = a.merge(b)
+        assert merged.queries == 2
+        assert merged.wall_seconds == 2.0
+        assert merged.batch_size_histogram() == {2: 1, 4: 1}
+
+    def test_summary_is_json_ready(self):
+        import json
+
+        sink = MetricsSink(clock=ManualClock())
+        sink.record_query(5.0, now=0.0)
+        sink.record_query(7.0, now=1.0)
+        sink.record_batch(2)
+        summary = sink.summary()
+        payload = json.loads(json.dumps(summary))
+        assert payload["queries"] == 2
+        assert payload["latency_ms"]["p50"] == 5.0
+        assert payload["mean_batch_size"] == 2.0
+
+    def test_manual_clock_validation(self):
+        clock = ManualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        clock.advance_to(5.0)
+        clock.advance_to(1.0)  # never moves backwards
+        assert clock.now() == 5.0

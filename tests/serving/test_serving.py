@@ -87,6 +87,75 @@ class TestSearchEngine:
         engine = SearchEngine(unit_world, model, np.random.default_rng(1))
         assert engine.mean_latency_ms == 0.0
 
+    def test_avg_latency_alias(self, engine):
+        engine.search(1, 0)
+        assert engine.avg_latency_ms == engine.mean_latency_ms
+        assert engine.avg_latency_ms > 0
+
+    def test_reset_stats(self, engine):
+        engine.search(1, 0)
+        engine.reset_stats()
+        assert engine.queries_served == 0
+        assert engine.avg_latency_ms == 0.0
+
+    def test_retrieve_small_category_returns_whole_inventory(self, unit_world, test_set):
+        """A category with fewer items than candidates_per_query exposes all
+        of its items — no sampling error, no short list surprises."""
+        model = build_model("dnn", ModelConfig.unit(), test_set.meta, np.random.default_rng(0))
+        engine = SearchEngine(
+            unit_world, model, np.random.default_rng(1),
+            candidates_per_query=unit_world.num_items + 1,
+        )
+        members = np.flatnonzero(unit_world.item_category == 3)
+        assert members.size < engine.candidates_per_query
+        candidates = engine.retrieve(3)
+        np.testing.assert_array_equal(np.sort(candidates), members)
+        # And the full pipeline serves such a category end to end.
+        result = engine.search(user=2, query_category=3)
+        assert result.items.size == members.size
+
+    def test_retrieve_empty_category_raises(self, unit_world, test_set):
+        model = build_model("dnn", ModelConfig.unit(), test_set.meta, np.random.default_rng(0))
+        engine = SearchEngine(unit_world, model, np.random.default_rng(1))
+        engine._by_category[0] = np.array([], dtype=np.int64)
+        with pytest.raises(ValueError):
+            engine.retrieve(0)
+
+
+class TestSessionGateScoring:
+    """The §III-F1 decomposed path: gate once per session, experts per item."""
+
+    @pytest.fixture()
+    def engine(self, unit_world, test_set):
+        model = build_model("aw_moe", ModelConfig.unit(), test_set.meta, np.random.default_rng(0))
+        return SearchEngine(unit_world, model, np.random.default_rng(1))
+
+    def test_session_gate_matches_full_forward(self, engine):
+        candidates = engine.retrieve(1)
+        batch = engine.build_batch(3, 1, candidates)
+        gate = engine.session_gate(batch)
+        assert gate is not None and gate.ndim == 1
+        full = engine.model.gate_outputs(batch)
+        np.testing.assert_allclose(full, np.tile(gate, (len(full), 1)), rtol=1e-6)
+
+    def test_score_with_gate_override_identical(self, engine):
+        candidates = engine.retrieve(2)
+        batch = engine.build_batch(5, 2, candidates)
+        plain = engine.score_candidates(batch)
+        gated = engine.score_candidates(batch, gate=engine.session_gate(batch))
+        np.testing.assert_allclose(plain, gated, rtol=1e-6, atol=1e-7)
+
+    def test_gateless_model_reports_no_session_gate(self, unit_world, test_set):
+        model = build_model("din", ModelConfig.unit(), test_set.meta, np.random.default_rng(0))
+        engine = SearchEngine(unit_world, model, np.random.default_rng(1))
+        assert not engine.supports_session_gate
+        candidates = engine.retrieve(1)
+        batch = engine.build_batch(3, 1, candidates)
+        assert engine.session_gate(batch) is None
+        # A gate argument is ignored rather than crashing the scorer.
+        scores = engine.score_candidates(batch, gate=np.ones(4, dtype=np.float32))
+        assert scores.shape == (candidates.size,)
+
 
 class TestABTest:
     def test_oracle_beats_antioracle(self, unit_world, test_set):
@@ -94,7 +163,8 @@ class TestABTest:
         inverted one — the sanity check for the simulator's sensitivity."""
         from repro.core.ranking_model import RankingModel
         from repro.nn import Tensor
-        from repro.data.synthetic import _cross_features, _true_logits, _UserState
+        from repro.data.features import UserState, cross_features
+        from repro.data.synthetic import _true_logits
 
         class OracleRanker(RankingModel):
             sign = 1.0
@@ -105,8 +175,8 @@ class TestABTest:
                 for i in range(len(out)):
                     user = int(batch["user_id"][i])
                     item = np.array([int(batch["target_item"][i]) - 1])
-                    state = _UserState(world, user)
-                    cross = _cross_features(state, world, item)
+                    state = UserState(world, user)
+                    cross = cross_features(state, world, item)
                     qcat = int(batch["query_category"][i]) - 1
                     out[i] = self.sign * _true_logits(world, user, item, qcat, cross)[0]
                 return Tensor(out)

@@ -20,6 +20,10 @@ Subpackages
     Gradient-boosted decision trees (stands in for XGBoost in Fig. 2).
 ``repro.serving``
     Search-engine / serving-cost / A/B-test simulators (§III-F, §IV-I).
+``repro.online``
+    The online learning loop: position-biased click feedback, incremental
+    warm-start training, versioned model registry, canary gating, and
+    zero-downtime hot-swap into the serving fleet.
 """
 
 __version__ = "1.0.0"

@@ -20,7 +20,7 @@ from repro.core.gate_network import GateNetwork
 from repro.core.gate_unit import GateUnit
 from repro.core.input_network import FeatureEmbedder, InputNetwork
 from repro.core.ranking_model import RankingModel
-from repro.core.trainer import train_model
+from repro.core.trainer import build_optimizers, build_strategy, train_model, train_step
 from repro.data.schema import DatasetMeta
 from repro.utils.registry import Registry
 
@@ -44,7 +44,10 @@ __all__ = [
     "TrainConfig",
     "MODEL_REGISTRY",
     "build_model",
+    "build_optimizers",
+    "build_strategy",
     "train_model",
+    "train_step",
 ]
 
 MODEL_REGISTRY = Registry("ranking model")

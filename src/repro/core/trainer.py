@@ -9,7 +9,7 @@ the ``contrastive`` flag — as in the paper.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -17,11 +17,12 @@ from repro.core.config import TrainConfig
 from repro.core.contrastive import ContrastiveStrategy
 from repro.core.ranking_model import RankingModel
 from repro.data.dataset import RankingDataset, iterate_batches
+from repro.data.schema import Batch
 from repro.nn import AdamW, bce_with_logits, clip_grad_norm
 from repro.utils.logging import RunLog
 from repro.utils.rng import SeedBank
 
-__all__ = ["train_model"]
+__all__ = ["train_model", "train_step", "build_optimizers", "build_strategy"]
 
 
 def train_model(
@@ -44,13 +45,8 @@ def train_model(
     bank = SeedBank(seed)
     shuffle_rng = bank.child("shuffle")
     cl_rng = bank.child("contrastive")
-    optimizers = _build_optimizers(model, config)
-    strategy = ContrastiveStrategy(
-        mask_prob=config.mask_prob,
-        num_negatives=config.num_negatives,
-        weight=config.cl_weight,
-        augmentation=config.augmentation,
-    )
+    optimizers = build_optimizers(model, config)
+    strategy = build_strategy(config)
     if log is None:
         log = RunLog(name=type(model).__name__, echo_every=config.log_every)
 
@@ -61,30 +57,59 @@ def train_model(
             train_set, config.batch_size, rng=shuffle_rng, drop_last=True
         ):
             step += 1
-            if config.contrastive:
-                logits, gate = model.forward_with_gate(batch)
-                rank_loss = bce_with_logits(logits, batch["label"])
-                cl_loss = strategy.loss(model, batch, gate, cl_rng)
-                loss = rank_loss + cl_loss
-                extra = {"cl_loss": cl_loss.item()}
-            else:
-                logits = model.forward(batch)
-                rank_loss = bce_with_logits(logits, batch["label"])
-                loss = rank_loss
-                extra = {}
-            for optimizer in optimizers:
-                optimizer.zero_grad()
-            loss.backward()
-            if config.grad_clip:
-                clip_grad_norm(model.parameters(), config.grad_clip)
-            for optimizer in optimizers:
-                optimizer.step()
-            log.log(step, loss=loss.item(), rank_loss=rank_loss.item(), epoch=epoch, **extra)
+            metrics = train_step(model, batch, config, optimizers, strategy, cl_rng)
+            log.log(step, epoch=epoch, **metrics)
     model.eval()
     return log
 
 
-def _build_optimizers(model: RankingModel, config: TrainConfig) -> list:
+def train_step(
+    model: RankingModel,
+    batch: Batch,
+    config: TrainConfig,
+    optimizers: List[AdamW],
+    strategy: ContrastiveStrategy,
+    cl_rng: Optional[np.random.Generator] = None,
+) -> Dict[str, float]:
+    """One gradient update on one mini-batch; returns its loss metrics.
+
+    This is the unit both :func:`train_model` and the streaming incremental
+    trainer (:mod:`repro.online.incremental`) are built from — sharing it
+    guarantees the online refresh path optimizes exactly the offline
+    objective.
+    """
+    if config.contrastive:
+        logits, gate = model.forward_with_gate(batch)
+        rank_loss = bce_with_logits(logits, batch["label"])
+        cl_loss = strategy.loss(model, batch, gate, cl_rng)
+        loss = rank_loss + cl_loss
+        extra = {"cl_loss": cl_loss.item()}
+    else:
+        logits = model.forward(batch)
+        rank_loss = bce_with_logits(logits, batch["label"])
+        loss = rank_loss
+        extra = {}
+    for optimizer in optimizers:
+        optimizer.zero_grad()
+    loss.backward()
+    if config.grad_clip:
+        clip_grad_norm(model.parameters(), config.grad_clip)
+    for optimizer in optimizers:
+        optimizer.step()
+    return {"loss": loss.item(), "rank_loss": rank_loss.item(), **extra}
+
+
+def build_strategy(config: TrainConfig) -> ContrastiveStrategy:
+    """The contrastive-loss computation configured by ``config`` (§III-D)."""
+    return ContrastiveStrategy(
+        mask_prob=config.mask_prob,
+        num_negatives=config.num_negatives,
+        weight=config.cl_weight,
+        augmentation=config.augmentation,
+    )
+
+
+def build_optimizers(model: RankingModel, config: TrainConfig) -> list:
     """AdamW over all parameters; the gate network may get its own rate.
 
     A higher gate learning rate (``gate_lr_multiplier``) accelerates the

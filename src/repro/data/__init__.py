@@ -26,8 +26,10 @@ from repro.data.synthetic import (
     build_test_dataset,
     build_train_dataset,
     generate_world,
+    drift_world,
     make_search_datasets,
     simulate_search_log,
+    true_relevance,
 )
 
 __all__ = [
@@ -56,6 +58,8 @@ __all__ = [
     "build_test_dataset",
     "build_train_dataset",
     "generate_world",
+    "drift_world",
     "make_search_datasets",
     "simulate_search_log",
+    "true_relevance",
 ]

@@ -61,6 +61,8 @@ __all__ = [
     "build_train_dataset",
     "build_test_dataset",
     "make_search_datasets",
+    "true_relevance",
+    "drift_world",
 ]
 
 #: Latent user archetypes; the ground-truth label model weights features
@@ -311,6 +313,52 @@ def _sample_histories(
                 favourite_brand[cat] = int(item_brand[pick])
         histories.append(np.asarray(chosen, dtype=np.int64))
     return histories
+
+
+def true_relevance(
+    world: World, user: int, candidates: np.ndarray, query_category: int
+) -> np.ndarray:
+    """Ground-truth purchase probability for each candidate (0-based ids).
+
+    This is the sigmoid of the label model's log-odds — the same quantity
+    :func:`simulate_search_log` thresholds to produce purchase labels.  The
+    online-loop click simulator (:mod:`repro.online.click_model`) uses it as
+    the relevance term of the position-biased click model, so simulated
+    clicks carry exactly the signal the offline labels carry.
+    """
+    candidates = np.asarray(candidates)
+    state = UserState(world, user)
+    cross = cross_features(state, world, candidates)
+    z = _true_logits(world, user, candidates, query_category, cross)
+    return 1.0 / (1.0 + np.exp(-z))
+
+
+def drift_world(
+    world: World,
+    rng: np.random.Generator,
+    interest_drift: float = 0.2,
+    trend_drift: float = 0.15,
+) -> None:
+    """Shift the world's preference structure in place (concept drift).
+
+    Models the non-stationarity a deployed ranker faces between refresh
+    cycles: user category interests blend toward a freshly sampled profile
+    (``interest_drift`` is the mixing weight) and the per-category
+    popularity/price effect weights random-walk (``trend_drift`` scale,
+    clipped to the generator's [0.5, 1.5] range).  Features and labels both
+    read these arrays live, so serving, click simulation, and evaluation all
+    see the drifted world consistently — no retraining-time skew.
+    """
+    if not 0.0 <= interest_drift <= 1.0:
+        raise ValueError(f"interest_drift must be in [0, 1], got {interest_drift}")
+    cfg = world.config
+    fresh = rng.dirichlet(np.full(cfg.num_categories, 0.3), size=world.num_users)
+    world.user_interests *= 1.0 - interest_drift
+    world.user_interests += interest_drift * fresh
+    world.user_interests /= world.user_interests.sum(axis=1, keepdims=True)
+    for weights in (world.category_trend_weight, world.category_price_weight):
+        weights += rng.normal(0.0, trend_drift, size=weights.shape)
+        np.clip(weights, 0.5, 1.5, out=weights)
 
 
 # ----------------------------------------------------------------------

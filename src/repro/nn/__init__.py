@@ -39,7 +39,16 @@ from repro.nn.losses import (
     softmax_cross_entropy,
 )
 from repro.nn.optim import SGD, Adam, AdamW, CosineLR, Optimizer, StepLR, clip_grad_norm
-from repro.nn.serialization import load_module, load_state, save_module, save_state
+from repro.nn.serialization import (
+    load_module,
+    load_optimizer_state,
+    load_state,
+    load_training_state,
+    optimizer_state,
+    save_module,
+    save_state,
+    save_training_state,
+)
 
 __all__ = [
     "Tensor",
@@ -81,4 +90,8 @@ __all__ = [
     "load_state",
     "save_module",
     "load_module",
+    "optimizer_state",
+    "load_optimizer_state",
+    "save_training_state",
+    "load_training_state",
 ]

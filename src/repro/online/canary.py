@@ -1,0 +1,110 @@
+"""Canary gate: no candidate reaches production on trust.
+
+Before a refreshed model is hot-swapped into the fleet, it replays held-out
+traffic — recent click-log sessions withheld from training — through the
+paper's evaluation stack (:mod:`repro.eval`: session-grouped AUC and NDCG,
+Eq. 12–13) and is compared against the *current production model on the
+same sessions*.  Promotion requires every gated metric to be no worse than
+production minus a small tolerance; a corrupted or diverged candidate (the
+online loop's worst failure mode: silently degrading the ranker with noisy
+click feedback) is rejected and production keeps serving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.ranking_model import RankingModel
+from repro.data.dataset import RankingDataset
+from repro.eval.auc import session_auc
+from repro.eval.evaluator import predict_scores
+from repro.eval.ndcg import session_ndcg
+
+__all__ = ["CanaryReport", "CanaryGate"]
+
+
+@dataclass(frozen=True)
+class CanaryReport:
+    """Verdict on one candidate version."""
+
+    passed: bool
+    candidate: Dict[str, float]
+    production: Optional[Dict[str, float]]
+    reasons: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        metrics = " ".join(f"{k}={v:.4f}" for k, v in self.candidate.items())
+        return f"canary {verdict} ({metrics})" + (
+            f" [{'; '.join(self.reasons)}]" if self.reasons else ""
+        )
+
+
+class CanaryGate:
+    """Regression gate over held-out traffic.
+
+    Parameters
+    ----------
+    tolerance:
+        Maximum allowed drop per metric versus production.  0 demands
+        strict non-regression; the default absorbs evaluation noise on
+        small holdout windows.
+    metrics:
+        Which session metrics gate promotion (subset of ``auc``/``ndcg``).
+    """
+
+    _METRIC_FNS = {"auc": session_auc, "ndcg": session_ndcg}
+
+    def __init__(
+        self,
+        tolerance: float = 0.005,
+        metrics: Sequence[str] = ("auc", "ndcg"),
+    ) -> None:
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+        unknown = set(metrics) - set(self._METRIC_FNS)
+        if unknown:
+            raise ValueError(f"unknown canary metrics: {sorted(unknown)}")
+        if not metrics:
+            raise ValueError("at least one gated metric is required")
+        self.tolerance = float(tolerance)
+        self.metrics = tuple(metrics)
+
+    def evaluate(self, model: RankingModel, holdout: RankingDataset) -> Dict[str, float]:
+        """The gated session metrics of ``model`` on ``holdout``."""
+        scores = predict_scores(model, holdout)
+        return {
+            name: self._METRIC_FNS[name](scores, holdout.label, holdout.session_id)
+            for name in self.metrics
+        }
+
+    def judge(
+        self,
+        candidate: RankingModel,
+        production: Optional[RankingModel],
+        holdout: RankingDataset,
+    ) -> CanaryReport:
+        """Replay ``holdout`` through both models and compare.
+
+        With no production model (first deployment) the candidate passes by
+        default — there is nothing it could regress against.
+        """
+        candidate_metrics = self.evaluate(candidate, holdout)
+        if production is None:
+            return CanaryReport(passed=True, candidate=candidate_metrics, production=None)
+        production_metrics = self.evaluate(production, holdout)
+        reasons: List[str] = []
+        for name in self.metrics:
+            floor = production_metrics[name] - self.tolerance
+            if candidate_metrics[name] < floor:
+                reasons.append(
+                    f"{name} regressed: {candidate_metrics[name]:.4f} < "
+                    f"{production_metrics[name]:.4f} - {self.tolerance}"
+                )
+        return CanaryReport(
+            passed=not reasons,
+            candidate=candidate_metrics,
+            production=production_metrics,
+            reasons=tuple(reasons),
+        )

@@ -1,0 +1,162 @@
+"""Append-only click log and its conversion into training data.
+
+The serving fleet appends one :class:`ClickRecord` per served ranking (the
+shown items in served order plus the simulated click indicators); the
+incremental trainer consumes them through a cursor, so the log doubles as a
+queue with explicit **lag** accounting (sessions appended but not yet
+consumed — the freshness gauge the fleet metrics report).
+
+:func:`build_dataset` turns a window of records back into a
+:class:`~repro.data.dataset.RankingDataset` using the *same* public feature
+assembly (:func:`repro.data.features.assemble_candidate_batch`) the serving
+engine used to score the session — the features the model trained on are
+bit-identical to the features it served with, so the online loop introduces
+no training/serving skew.  Mirroring the offline protocol (§IV-A1),
+clicked impressions are positives and an equal number of sampled non-clicked
+impressions per session are negatives (1:1) when an ``rng`` is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import RankingDataset
+from repro.data.features import assemble_candidate_batch
+from repro.data.schema import Batch
+from repro.data.synthetic import World
+
+__all__ = ["ClickRecord", "ClickLog", "build_dataset"]
+
+
+@dataclass(frozen=True)
+class ClickRecord:
+    """One served session's feedback: shown items (served order) + clicks."""
+
+    session_id: int
+    user: int
+    query_category: int
+    items: np.ndarray  # (S,) 0-based item ids, in served (ranked) order
+    clicks: np.ndarray  # (S,) float {0, 1}
+    model_version: Optional[str]
+    timestamp: float
+
+    @property
+    def num_shown(self) -> int:
+        return int(self.items.size)
+
+    @property
+    def num_clicks(self) -> int:
+        return int(self.clicks.sum())
+
+
+class ClickLog:
+    """Append-only feedback log with a consumption cursor.
+
+    ``append`` is the serving side; ``read_new`` is the training side.  The
+    distance between them is :attr:`lag` — how far the incremental trainer
+    has fallen behind live traffic.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[ClickRecord] = []
+        self._cursor = 0
+        self._next_session = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> Sequence[ClickRecord]:
+        return tuple(self._records)
+
+    @property
+    def total_clicks(self) -> int:
+        return sum(record.num_clicks for record in self._records)
+
+    @property
+    def lag(self) -> int:
+        """Sessions appended but not yet consumed by :meth:`read_new`."""
+        return len(self._records) - self._cursor
+
+    def log_session(
+        self,
+        user: int,
+        query_category: int,
+        items: np.ndarray,
+        clicks: np.ndarray,
+        model_version: Optional[str] = None,
+        timestamp: float = 0.0,
+    ) -> ClickRecord:
+        """Append one served session's feedback; assigns the session id."""
+        items = np.asarray(items)
+        clicks = np.asarray(clicks, dtype=np.float32)
+        if items.shape != clicks.shape:
+            raise ValueError(
+                f"items and clicks must align, got {items.shape} vs {clicks.shape}"
+            )
+        record = ClickRecord(
+            session_id=self._next_session,
+            user=int(user),
+            query_category=int(query_category),
+            items=items.copy(),
+            clicks=clicks.copy(),
+            model_version=model_version,
+            timestamp=float(timestamp),
+        )
+        self._next_session += 1
+        self._records.append(record)
+        return record
+
+    def read_new(self, max_sessions: Optional[int] = None) -> List[ClickRecord]:
+        """Consume (advance the cursor past) the unread records, oldest first."""
+        stop = len(self._records)
+        if max_sessions is not None:
+            stop = min(stop, self._cursor + int(max_sessions))
+        window = self._records[self._cursor : stop]
+        self._cursor = stop
+        return window
+
+
+def build_dataset(
+    world: World,
+    records: Sequence[ClickRecord],
+    rng: Optional[np.random.Generator] = None,
+) -> Optional[RankingDataset]:
+    """Training dataset from click records; ``None`` if nothing is usable.
+
+    Sessions contribute only when they hold at least one click and one
+    non-click (clickless sessions carry no ranking signal under the
+    session-grouped objective, all-clicked ones no contrast).  With an
+    ``rng``, negatives are downsampled to 1:1 per session, mirroring the
+    offline protocol of §IV-A1; without one, every shown impression of a
+    usable session is kept (the canary-holdout convention, matching the
+    offline *test*-split protocol).
+    """
+    batches: List[Batch] = []
+    for record in records:
+        clicks = record.clicks
+        if clicks.size == 0 or clicks.max() < 1 or clicks.min() > 0:
+            continue
+        keep = np.arange(record.num_shown)
+        if rng is not None:
+            positives = np.flatnonzero(clicks == 1)
+            negatives = np.flatnonzero(clicks == 0)
+            count = min(positives.size, negatives.size)
+            sampled = rng.choice(negatives, size=count, replace=False)
+            keep = np.sort(np.concatenate([positives, sampled]))
+        batch = assemble_candidate_batch(
+            world, record.user, record.query_category, record.items[keep]
+        )
+        batch["label"] = clicks[keep].astype(np.float32)
+        batch["session_id"] = np.full(keep.size, record.session_id, dtype=np.int64)
+        batches.append(batch)
+    if not batches:
+        return None
+    columns = {
+        key: np.concatenate([batch[key] for batch in batches], axis=0)
+        for key in batches[0]
+    }
+    return RankingDataset(meta=world.meta(), **columns)

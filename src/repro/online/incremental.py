@@ -1,0 +1,127 @@
+"""Streaming incremental trainer: warm-start refreshes from click feedback.
+
+Production rankers are not retrained from scratch — each refresh cycle
+continues optimizing the previous deployment's weights on the newest slice
+of the click log (§III-F; the same continuous-update story as AMoE and the
+Yandex system).  :class:`IncrementalTrainer` wraps the exact per-batch update
+of :func:`repro.core.trainer.train_step` and holds its AdamW optimizers
+**across** :meth:`update` calls, so the Adam moment estimates and bias-
+correction step counts carry over between cycles instead of resetting (a
+cold optimizer on warm weights wastes the first hundreds of steps
+re-estimating curvature).
+
+Checkpointing goes through :func:`repro.nn.serialization.save_training_state`:
+model parameters, every optimizer's buffers, and the update counter travel
+together, so ``save → load → update`` is bitwise-identical to never having
+stopped (``tests/online/test_incremental.py`` asserts this).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import TrainConfig
+from repro.core.ranking_model import RankingModel
+from repro.core.trainer import build_optimizers, build_strategy, train_step
+from repro.data.dataset import RankingDataset, iterate_batches
+from repro.nn import load_training_state, save_training_state
+from repro.utils.logging import RunLog
+from repro.utils.rng import SeedBank
+
+__all__ = ["IncrementalTrainer"]
+
+
+class IncrementalTrainer:
+    """Warm-start mini-batch trainer over successive click-log windows.
+
+    Parameters
+    ----------
+    model:
+        The training twin of the production model.  It is mutated in place
+        by :meth:`update`; deployments should go through the model registry
+        (register → canary → load a fresh serving copy), never by handing
+        this object to the fleet directly.
+    config:
+        The same :class:`~repro.core.config.TrainConfig` the offline trainer
+        uses; ``epochs`` is the number of passes per refresh window.
+    seed:
+        Root seed.  Every update derives its shuffle / contrastive streams
+        from ``(seed, update_index)``, which makes a restored trainer's next
+        update identical to an uninterrupted one.
+    """
+
+    def __init__(self, model: RankingModel, config: TrainConfig, seed: int = 0) -> None:
+        if config.contrastive and not model.supports_contrastive:
+            raise TypeError(
+                f"contrastive training requested but {type(model).__name__} "
+                "has no gate network"
+            )
+        self.model = model
+        self.config = config
+        self.seed = int(seed)
+        self.optimizers = build_optimizers(model, config)
+        self.strategy = build_strategy(config)
+        self.updates = 0
+        self.total_steps = 0
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def update(self, dataset: RankingDataset, log: Optional[RunLog] = None) -> RunLog:
+        """One refresh cycle: ``config.epochs`` passes over ``dataset``.
+
+        Windows smaller than ``config.batch_size`` train as a single full
+        batch (a refresh must never be silently skipped because traffic was
+        light); under the contrastive objective, batches too small for
+        in-batch negative sampling are dropped instead.
+        """
+        if log is None:
+            log = RunLog(name=f"{type(self.model).__name__}-update{self.updates}")
+        bank = SeedBank(self.seed)
+        shuffle_rng = bank.child(f"update-{self.updates}-shuffle")
+        cl_rng = bank.child(f"update-{self.updates}-contrastive")
+        batch_size = min(self.config.batch_size, len(dataset))
+        min_rows = self.config.num_negatives + 1 if self.config.contrastive else 1
+        self.model.train()
+        step = 0
+        for epoch in range(self.config.epochs):
+            for batch in iterate_batches(dataset, batch_size, rng=shuffle_rng):
+                if batch["label"].shape[0] < min_rows:
+                    continue
+                step += 1
+                metrics = train_step(
+                    self.model, batch, self.config, self.optimizers, self.strategy, cl_rng
+                )
+                log.log(step, epoch=epoch, **metrics)
+        self.model.eval()
+        self.updates += 1
+        self.total_steps += step
+        return log
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Checkpoint weights, optimizer state, and the update counters."""
+        save_training_state(
+            path,
+            self.model,
+            self.optimizers,
+            extra={
+                "updates": self.updates,
+                "total_steps": self.total_steps,
+                "seed": self.seed,
+            },
+        )
+
+    def load(self, path: str) -> None:
+        """Restore a :meth:`save` checkpoint; continuing is then bitwise-
+        identical to never having stopped."""
+        extra = load_training_state(path, self.model, self.optimizers)
+        self.updates = int(extra.get("updates", 0))
+        self.total_steps = int(extra.get("total_steps", 0))
+        if "seed" in extra and int(extra["seed"]) != self.seed:
+            raise ValueError(
+                f"checkpoint was trained under seed {int(extra['seed'])}, "
+                f"trainer configured with {self.seed}"
+            )

@@ -1,0 +1,288 @@
+"""The closed online learning loop: serve → log → train → canary → swap.
+
+:class:`OnlineLoop` wires every online component around PR 1's serving
+fleet::
+
+          ┌────────────────────────────────────────────────────────┐
+          ▼                                                        │
+    ShardedCluster ──RankedLists──► PositionBiasedClickModel       │
+          ▲                               │ clicks                 │
+          │ hot swap                      ▼                        │
+    ModelRegistry ◄── register ── ClickLog ── read_new ──► IncrementalTrainer
+          │ promote / reject                                       │
+          └────────────── CanaryGate ◄── candidate ────────────────┘
+
+Each :meth:`run_cycle` call is one refresh: replay a traffic slice through
+the cluster, simulate clicks on the served rankings, append them to the
+click log, consume the unread window (a slice held out for the canary, the
+rest for training), warm-start-train the candidate, register it, canary it
+against current production on the held-out sessions, and — only on a pass —
+hot-swap a *freshly loaded* serving copy into every shard.  The serving
+fleet never scores with the trainer's live object, so a cycle that fails
+the canary leaves production untouched, and an empty click log leaves the
+production rankings bitwise-identical (no accidental skew from the new
+path; asserted in ``tests/online/test_loop.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.ranking_model import RankingModel
+from repro.data.synthetic import World
+from repro.online.canary import CanaryGate, CanaryReport
+from repro.online.click_log import ClickLog, build_dataset
+from repro.online.click_model import PositionBiasedClickModel
+from repro.online.incremental import IncrementalTrainer
+from repro.online.registry import ModelRegistry
+from repro.serving.cluster import ShardedCluster
+from repro.serving.engine import RankedList
+from repro.serving.loadgen import TrafficEvent, replay
+from repro.serving.metrics import ManualClock
+
+__all__ = ["CycleReport", "OnlineLoop"]
+
+
+@dataclass
+class CycleReport:
+    """What one refresh cycle did, for audit and benchmarking."""
+
+    cycle: int
+    queries_served: int
+    sessions_logged: int
+    clicks: int
+    log_lag: int
+    train_rows: int
+    candidate_version: Optional[int] = None
+    promoted: bool = False
+    canary: Optional[CanaryReport] = None
+    production_version: Optional[int] = None
+
+    def summary(self) -> dict:
+        """JSON-serializable view (the benchmark artifact rows)."""
+        return {
+            "cycle": self.cycle,
+            "queries_served": self.queries_served,
+            "sessions_logged": self.sessions_logged,
+            "clicks": self.clicks,
+            "log_lag": self.log_lag,
+            "train_rows": self.train_rows,
+            "candidate_version": self.candidate_version,
+            "promoted": self.promoted,
+            "production_version": self.production_version,
+            "canary": None
+            if self.canary is None
+            else {
+                "passed": self.canary.passed,
+                "candidate": self.canary.candidate,
+                "production": self.canary.production,
+                "reasons": list(self.canary.reasons),
+            },
+        }
+
+
+class OnlineLoop:
+    """Orchestrates the serve → learn → deploy cycle over one fleet.
+
+    Parameters
+    ----------
+    world:
+        The synthetic world traffic and features are drawn from.
+    cluster:
+        The serving fleet (PR 1's :class:`~repro.serving.cluster.ShardedCluster`).
+    trainer:
+        Warm-start trainer owning the *training twin* of the production
+        model.  The fleet never serves this object: deployments load a
+        fresh copy from the registry (``model_factory``).
+    model_factory:
+        Zero-argument constructor for an architecture-identical blank model;
+        called once per promotion to build the serving copy.
+    registry / canary / click_model:
+        The remaining loop components; a fresh :class:`ClickLog` is created
+        unless one is passed.
+    holdout_every:
+        Every Nth logged session is withheld from training and reserved for
+        the canary replay (production vs candidate on identical traffic).
+    clock:
+        Optional :class:`~repro.serving.metrics.ManualClock` for
+        deterministic simulated-time replay (also timestamps click records).
+    """
+
+    def __init__(
+        self,
+        world: World,
+        cluster: ShardedCluster,
+        trainer: IncrementalTrainer,
+        model_factory: Callable[[], RankingModel],
+        registry: ModelRegistry,
+        canary: CanaryGate,
+        click_model: PositionBiasedClickModel,
+        click_log: Optional[ClickLog] = None,
+        holdout_every: int = 5,
+        seed: int = 0,
+        clock: Optional[ManualClock] = None,
+    ) -> None:
+        if holdout_every < 2:
+            raise ValueError(f"holdout_every must be >= 2, got {holdout_every}")
+        self.world = world
+        self.cluster = cluster
+        self.trainer = trainer
+        self.model_factory = model_factory
+        self.registry = registry
+        self.canary = canary
+        self.click_model = click_model
+        self.click_log = click_log if click_log is not None else ClickLog()
+        self.holdout_every = int(holdout_every)
+        self.clock = clock
+        self._neg_rng = np.random.default_rng(np.random.SeedSequence(seed))
+        self._production_model: Optional[RankingModel] = None
+        self.cycles_run = 0
+        self.reports: List[CycleReport] = []
+
+    # ------------------------------------------------------------------
+    # deployment plumbing
+    # ------------------------------------------------------------------
+    @property
+    def production_model(self) -> Optional[RankingModel]:
+        """The model instance the fleet currently serves."""
+        return self._production_model
+
+    @property
+    def production_version(self) -> Optional[int]:
+        entry = self.registry.production
+        return None if entry is None else entry.version
+
+    def bootstrap(self) -> int:
+        """Register + deploy the trainer's (offline-trained) model as v1.
+
+        The seed model takes the same path every later refresh takes —
+        checkpoint, registry, fresh serving copy, hot swap — so offline and
+        online serving are the same code path from the first query on.
+        """
+        if self.registry.production is not None:
+            raise RuntimeError("loop already bootstrapped (production exists)")
+        entry = self.registry.register(self.trainer.model, trainer=self.trainer)
+        self.registry.promote(entry.version)
+        self._deploy(entry.version)
+        return entry.version
+
+    def _deploy(self, version: int) -> None:
+        """Load a fresh serving copy of ``version`` and swap it in."""
+        serving_copy = self.model_factory()
+        self.registry.load_into(version, serving_copy)
+        self.cluster.swap_model(serving_copy, self.registry.label(version))
+        self._production_model = serving_copy
+
+    def _now(self) -> float:
+        return self.clock.now() if self.clock is not None else time.time()
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+    def serve_and_log(self, events: Sequence[TrafficEvent]) -> List[RankedList]:
+        """Replay ``events`` through the fleet, simulating + logging clicks.
+
+        Event times are relative ("seconds since traffic start"), but the
+        loop's :class:`ManualClock` spans *all* cycles and never moves
+        backwards — so each cycle's events are re-based onto the current
+        clock.  Without this, every cycle after the first would replay in
+        the clock's past: deadline flushes would never fire and click
+        timestamps would freeze.
+        """
+        events = list(events)
+        if self.clock is not None:
+            base = self.clock.now()
+            events = [
+                TrafficEvent(base + event.time, event.user, event.query_category)
+                for event in events
+            ]
+        results = replay(self.cluster, events, clock=self.clock)
+        for ranking in results:
+            shown = self.click_model.shown_positions(ranking)
+            clicks = self.click_model.clicks(ranking)
+            self.click_log.log_session(
+                ranking.user,
+                ranking.query_category,
+                ranking.items[:shown],
+                clicks,
+                model_version=ranking.model_version,
+                timestamp=self._now(),
+            )
+        return results
+
+    def run_cycle(self, events: Sequence[TrafficEvent]) -> CycleReport:
+        """One full refresh cycle; returns its audit report.
+
+        A cycle with no usable feedback (no events, or no session with both
+        a click and a skip) trains nothing and leaves production untouched.
+        """
+        if self.registry.production is None:
+            raise RuntimeError("call bootstrap() before running cycles")
+        cycle = self.cycles_run
+        results = self.serve_and_log(events)
+
+        lag = self.click_log.lag
+        self.cluster.control.record_log_lag(lag)
+        records = self.click_log.read_new()
+        holdout_rows = set(range(self.holdout_every - 1, len(records), self.holdout_every))
+        holdout_records = [records[i] for i in sorted(holdout_rows)]
+        train_records = [
+            record for i, record in enumerate(records) if i not in holdout_rows
+        ]
+        train_set = build_dataset(self.world, train_records, rng=self._neg_rng)
+        holdout_set = build_dataset(self.world, holdout_records)
+
+        report = CycleReport(
+            cycle=cycle,
+            queries_served=len(results),
+            sessions_logged=len(records),
+            clicks=int(sum(record.num_clicks for record in records)),
+            log_lag=lag,
+            train_rows=0 if train_set is None else len(train_set),
+            production_version=self.production_version,
+        )
+        self.cycles_run += 1
+        if train_set is None:
+            self.reports.append(report)
+            return report
+
+        # Incremental warm-start training on the fresh window.
+        parent = self.production_version
+        window = (records[0].session_id, records[-1].session_id + 1)
+        self.trainer.update(train_set)
+        entry = self.registry.register(
+            self.trainer.model, parent=parent, window=window, trainer=self.trainer
+        )
+        report.candidate_version = entry.version
+
+        # Canary: candidate vs production on the held-out sessions.  With no
+        # usable holdout this cycle, promotion proceeds on the training
+        # evidence alone (tiny-traffic regime; the verdict is still logged).
+        if holdout_set is not None:
+            report.canary = self.canary.judge(
+                self.trainer.model, self._production_model, holdout_set
+            )
+            passed = report.canary.passed
+            self.cluster.control.record_canary(passed)
+        else:
+            passed = True
+        if passed:
+            metrics = None if report.canary is None else report.canary.candidate
+            self.registry.promote(entry.version, metrics=metrics)
+            self._deploy(entry.version)
+        else:
+            self.registry.reject(entry.version, metrics=report.canary.candidate)
+            # Roll the training twin back to the production lineage: a bad
+            # update must not become the base of the next candidate (it
+            # would poison every future refresh while the registry claimed
+            # clean descent from production).  Loop-managed versions always
+            # carry full training state, so optimizer moments roll back too.
+            self.registry.load_into(parent, self.trainer.model, trainer=self.trainer)
+        report.promoted = passed
+        report.production_version = self.production_version
+        self.reports.append(report)
+        return report

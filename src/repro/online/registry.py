@@ -1,0 +1,221 @@
+"""Versioned model registry: the source of truth for what can be deployed.
+
+Every refresh cycle registers its candidate as an immutable, numbered
+version — a checkpoint file (built on :mod:`repro.nn.serialization`, holding
+weights and, when a trainer is supplied, its full optimizer state) plus
+metadata: the click-log window it trained on, its canary metrics, its parent
+version, and a lifecycle status::
+
+    candidate ──canary pass──► production ──newer version──► archived
+        └───────canary fail──► rejected
+
+Exactly one version is ``production`` at a time; the hot-swap deployer reads
+it from here and the canary gate writes verdicts back, so the registry's
+JSON index (``registry.json`` under the root directory) is a complete,
+persistent audit trail of the online loop.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.ranking_model import RankingModel
+from repro.nn import load_module, load_training_state, save_module
+from repro.online.incremental import IncrementalTrainer
+
+__all__ = ["ModelVersion", "ModelRegistry"]
+
+#: Lifecycle states of a registered version.
+_STATUSES = ("candidate", "production", "archived", "rejected")
+
+
+@dataclass
+class ModelVersion:
+    """Metadata of one registered checkpoint."""
+
+    version: int
+    path: str
+    parent: Optional[int]
+    created_at: float
+    #: Click-log session window ``[start, stop)`` the version trained on
+    #: (``(0, 0)`` for offline-trained seeds).
+    window: Tuple[int, int] = (0, 0)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    status: str = "candidate"
+
+    def to_json(self) -> Dict[str, object]:
+        record = asdict(self)
+        record["window"] = list(self.window)
+        return record
+
+    @staticmethod
+    def from_json(record: Dict[str, object]) -> "ModelVersion":
+        record = dict(record)
+        record["window"] = tuple(record.get("window", (0, 0)))
+        return ModelVersion(**record)
+
+
+class ModelRegistry:
+    """Directory-backed store of versioned checkpoints with one production.
+
+    Parameters
+    ----------
+    root:
+        Directory for checkpoint files and the ``registry.json`` index.  An
+        existing index is loaded, so a registry survives process restarts.
+    clock:
+        Timestamp source (injectable for deterministic tests).
+    """
+
+    INDEX_NAME = "registry.json"
+
+    def __init__(self, root: str, clock: Callable[[], float] = time.time) -> None:
+        self.root = str(root)
+        self._clock = clock
+        self._versions: Dict[int, ModelVersion] = {}
+        os.makedirs(self.root, exist_ok=True)
+        self._load_index()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        model: RankingModel,
+        parent: Optional[int] = None,
+        window: Tuple[int, int] = (0, 0),
+        metrics: Optional[Dict[str, float]] = None,
+        trainer: Optional[IncrementalTrainer] = None,
+    ) -> ModelVersion:
+        """Checkpoint ``model`` as the next version (status ``candidate``).
+
+        With a ``trainer``, the checkpoint carries full training state
+        (optimizer buffers included) so a future cycle — or process — can
+        warm-start from it; otherwise only the parameters are stored.
+        """
+        number = self.latest_version + 1
+        path = os.path.join(self.root, f"v{number:04d}.npz")
+        if trainer is not None:
+            if trainer.model is not model:
+                raise ValueError("trainer.model must be the model being registered")
+            trainer.save(path)
+        else:
+            save_module(model, path)
+        entry = ModelVersion(
+            version=number,
+            path=path,
+            parent=parent,
+            created_at=float(self._clock()),
+            window=(int(window[0]), int(window[1])),
+            metrics=dict(metrics or {}),
+        )
+        self._versions[number] = entry
+        self._save_index()
+        return entry
+
+    def load_into(
+        self,
+        version: int,
+        model: RankingModel,
+        trainer: Optional[IncrementalTrainer] = None,
+    ) -> RankingModel:
+        """Restore a version's weights into ``model`` (and training state
+        into ``trainer`` when the checkpoint carries it)."""
+        entry = self.get(version)
+        if trainer is not None:
+            if trainer.model is not model:
+                raise ValueError("trainer.model must be the model being restored")
+            trainer.load(entry.path)
+        else:
+            # Training-state checkpoints prefix parameters with "model.";
+            # plain ones store them flat.  Accept both.
+            try:
+                load_training_state(entry.path, model, ())
+            except KeyError:
+                load_module(model, entry.path)
+        return model
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def promote(self, version: int, metrics: Optional[Dict[str, float]] = None) -> ModelVersion:
+        """Make ``version`` production; the previous production archives."""
+        entry = self.get(version)
+        if entry.status == "rejected":
+            raise ValueError(f"version {version} was rejected and cannot be promoted")
+        current = self.production
+        if current is not None and current.version != version:
+            current.status = "archived"
+        entry.status = "production"
+        if metrics is not None:
+            entry.metrics.update(metrics)
+        self._save_index()
+        return entry
+
+    def reject(self, version: int, metrics: Optional[Dict[str, float]] = None) -> ModelVersion:
+        """Mark a candidate as failed (the canary gate blocked it)."""
+        entry = self.get(version)
+        if entry.status == "production":
+            raise ValueError(f"version {version} is production; demote by promoting another")
+        entry.status = "rejected"
+        if metrics is not None:
+            entry.metrics.update(metrics)
+        self._save_index()
+        return entry
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def get(self, version: int) -> ModelVersion:
+        if version not in self._versions:
+            raise KeyError(f"unknown model version {version}")
+        return self._versions[version]
+
+    @property
+    def versions(self) -> List[ModelVersion]:
+        """All versions, oldest first."""
+        return [self._versions[number] for number in sorted(self._versions)]
+
+    @property
+    def latest_version(self) -> int:
+        """Highest registered version number (0 when empty)."""
+        return max(self._versions, default=0)
+
+    @property
+    def production(self) -> Optional[ModelVersion]:
+        for entry in self._versions.values():
+            if entry.status == "production":
+                return entry
+        return None
+
+    @property
+    def num_rejected(self) -> int:
+        return sum(1 for entry in self._versions.values() if entry.status == "rejected")
+
+    def label(self, version: int) -> str:
+        """Human-readable version tag (what the serving fleet is stamped with)."""
+        return f"v{version:04d}"
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def _index_path(self) -> str:
+        return os.path.join(self.root, self.INDEX_NAME)
+
+    def _save_index(self) -> None:
+        payload = {"versions": [entry.to_json() for entry in self.versions]}
+        with open(self._index_path(), "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+
+    def _load_index(self) -> None:
+        if not os.path.exists(self._index_path()):
+            return
+        with open(self._index_path(), "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        for record in payload.get("versions", []):
+            entry = ModelVersion.from_json(record)
+            self._versions[entry.version] = entry

@@ -23,6 +23,11 @@ high-throughput subsystem::
   histogram, cache hit rate;
 * :mod:`~repro.serving.cost` / :mod:`~repro.serving.ab_test` — the paper's
   FLOP cost model and simulated online A/B test.
+
+The stack is hot-swappable: :meth:`ShardedCluster.swap_model` drains each
+shard between micro-batches, switches the model, and invalidates the gate
+cache (generation-tagged), which is how the online learning loop
+(:mod:`repro.online`) deploys refreshed versions with zero downtime.
 """
 
 from repro.serving.ab_test import ABTestResult, run_ab_test

@@ -46,6 +46,10 @@ class PreparedQuery:
     batch: Batch
     gate: Optional[np.ndarray]  # (K,) cached session gate, None = cache miss
     enqueue_time: float
+    #: Cache generation the gate was read under; if the cache's generation
+    #: advances before the flush (a model hot-swap), the gate is stale and
+    #: is re-resolved against the new model instead of being applied.
+    gate_generation: int = 0
 
     @property
     def num_candidates(self) -> int:
@@ -118,8 +122,10 @@ class MicroBatcher:
         candidates = self.engine.retrieve(query_category)
         batch = self.engine.build_batch(user, query_category, candidates, behavior=behavior)
         gate = None
+        generation = 0
         if use_gate and self.cache is not None:
             gate = self.cache.get_gate(user, query_category)
+            generation = self.cache.generation
         self._pending.append(
             PreparedQuery(
                 user=user,
@@ -128,6 +134,7 @@ class MicroBatcher:
                 batch=batch,
                 gate=gate,
                 enqueue_time=now,
+                gate_generation=generation,
             )
         )
         if len(self._pending) >= self.max_batch_size:
@@ -135,13 +142,23 @@ class MicroBatcher:
         return []
 
     def poll(self) -> List[RankedList]:
-        """Flush if the oldest pending query has exceeded the deadline."""
+        """Flush if the oldest pending query has exceeded the deadline.
+
+        The comparison uses exactly :meth:`next_flush_due`'s arithmetic: a
+        simulated-time driver that advances its clock *to* the due time must
+        observe the flush fire (computing the wait as ``(now - enqueue) *
+        1000 >= deadline_ms`` instead can fall one float ULP short of the
+        deadline and spin forever).
+        """
         if not self._pending:
             return []
-        waited_ms = (self._clock() - self._pending[0].enqueue_time) * 1000.0
-        if waited_ms >= self.flush_deadline_ms:
+        if self._clock() >= self._deadline():
             return self.flush()
         return []
+
+    def _deadline(self) -> float:
+        """Clock time (seconds) at which the oldest pending query expires."""
+        return self._pending[0].enqueue_time + self.flush_deadline_ms / 1000.0
 
     def next_flush_due(self) -> Optional[float]:
         """Clock time (seconds) when the deadline trigger next fires, or
@@ -150,7 +167,7 @@ class MicroBatcher:
         not the gap until the next arrival."""
         if not self._pending:
             return None
-        return self._pending[0].enqueue_time + self.flush_deadline_ms / 1000.0
+        return self._deadline()
 
     # ------------------------------------------------------------------
     # execution
@@ -161,6 +178,15 @@ class MicroBatcher:
             return []
         pending, self._pending = self._pending, []
         keys = pending[0].batch.keys()
+
+        # Stale-gate guard: a model swap between submit and flush bumps the
+        # cache generation; any gate resolved under an older generation was
+        # produced by the previous model and must not score this batch.
+        if self.cache is not None:
+            for q in pending:
+                if q.gate is not None and q.gate_generation != self.cache.generation:
+                    q.gate = None
+                    q.gate_generation = self.cache.generation
 
         gate_rows: Optional[np.ndarray] = None
         if self.engine.supports_session_gate:
@@ -192,6 +218,7 @@ class MicroBatcher:
                     items=q.candidates[order],
                     scores=query_scores[order],
                     latency_ms=latency_ms,
+                    model_version=self.engine.model_version,
                 )
             )
         if self.cache is not None:

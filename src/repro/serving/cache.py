@@ -130,6 +130,13 @@ class SessionCache:
         self.behaviors = LRUCache(
             gate_capacity if behavior_capacity is None else behavior_capacity
         )
+        #: Model generation the cached gate vectors belong to.  Bumped by
+        #: :meth:`invalidate_all` on every model hot-swap; consumers that
+        #: hold a gate across a flush boundary (the micro-batcher) record
+        #: the generation at lookup time and discard the vector if it no
+        #: longer matches — a gate produced by an old model must never be
+        #: applied under a new one.
+        self.generation = 0
 
     # -- gate vectors ---------------------------------------------------
     def get_gate(self, user: int, query_category: int) -> Optional[np.ndarray]:
@@ -154,6 +161,20 @@ class SessionCache:
     def reset_stats(self) -> None:
         self.gates.stats.reset()
         self.behaviors.stats.reset()
+
+    def invalidate_all(self, include_behaviors: bool = False) -> None:
+        """Drop every cached gate vector and bump :attr:`generation`.
+
+        Called on model hot-swap (:meth:`repro.serving.cluster.ShardedCluster.
+        swap_model`): gate vectors are a function of the model's weights, so
+        none may survive a version switch.  Behaviour encodings are pure
+        data features (independent of the model) and are kept unless
+        ``include_behaviors`` is set.
+        """
+        self.gates.clear()
+        self.generation += 1
+        if include_behaviors:
+            self.behaviors.clear()
 
     def invalidate_user(self, user: int) -> None:
         """Drop every entry derived from ``user``'s behaviour sequence.

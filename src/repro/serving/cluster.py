@@ -75,6 +75,10 @@ class ShardedCluster:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         self.num_shards = int(num_shards)
+        #: Fleet-level control-plane sink: one entry per deployment event
+        #: (hot swap, canary verdict, click-log lag) regardless of shard
+        #: count; merged into :meth:`merged_metrics`.
+        self.control = MetricsSink(clock=clock)
         bank = SeedBank(seed)
         self.workers: List[ShardWorker] = []
         for shard_id in range(self.num_shards):
@@ -133,12 +137,42 @@ class ShardedCluster:
         return results
 
     # ------------------------------------------------------------------
+    # model lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def model_version(self) -> Optional[str]:
+        """The version currently serving (identical across shards)."""
+        return self.workers[0].engine.model_version
+
+    def swap_model(self, model: RankingModel, version: Optional[str] = None) -> List[RankedList]:
+        """Hot-swap every shard to ``model`` with zero dropped queries.
+
+        Per shard, in order: (1) force-flush the micro-batcher so every
+        pending query is scored by the *old* model — a flush is one model
+        forward, so no batch can mix versions; (2) switch the engine's
+        model; (3) invalidate the session cache's gate vectors and bump its
+        generation, so no gate computed by the old model can ever be applied
+        under the new one (the batcher additionally re-resolves any gate
+        whose generation went stale between submit and flush).
+
+        Returns the drained results (old-version rankings), which callers
+        serving live traffic should still deliver.
+        """
+        drained: List[RankedList] = []
+        for worker in self.workers:
+            drained.extend(worker.batcher.flush())
+            worker.engine.set_model(model, version)
+            worker.cache.invalidate_all()
+        self.control.record_swap()
+        return drained
+
+    # ------------------------------------------------------------------
     # fleet metrics
     # ------------------------------------------------------------------
     def merged_metrics(self) -> MetricsSink:
-        """All shard sinks pooled into one fleet-level sink."""
-        merged = self.workers[0].metrics
-        for worker in self.workers[1:]:
+        """All shard sinks (plus the control-plane sink) pooled into one."""
+        merged = self.control
+        for worker in self.workers:
             merged = merged.merge(worker.metrics)
         return merged
 

@@ -47,6 +47,10 @@ class RankedList:
     items: np.ndarray  # 0-based item ids, ranked
     scores: np.ndarray  # predicted probabilities, same order
     latency_ms: float
+    #: Which model version produced the scores (``None`` before the engine
+    #: is told a version).  Stamped at scoring time, so hot-swap tests can
+    #: assert no flush ever mixes versions.
+    model_version: Optional[str] = None
 
 
 class SearchEngine:
@@ -58,9 +62,11 @@ class SearchEngine:
         model: RankingModel,
         rng: np.random.Generator,
         candidates_per_query: Optional[int] = None,
+        model_version: Optional[str] = None,
     ) -> None:
         self.world = world
         self.model = model
+        self.model_version = model_version
         self._rng = rng
         self.candidates_per_query = candidates_per_query or world.config.items_per_session
         self._by_category = [
@@ -69,6 +75,20 @@ class SearchEngine:
         ]
         self.queries_served = 0
         self.total_latency_ms = 0.0
+
+    # ------------------------------------------------------------------
+    # model lifecycle
+    # ------------------------------------------------------------------
+    def set_model(self, model: RankingModel, version: Optional[str] = None) -> None:
+        """Atomically switch the serving model (online-loop hot swap).
+
+        The assignment itself is atomic; callers that batch queries must
+        drain pending work first so no flush mixes versions, and must
+        invalidate any cache holding gate vectors from the old model —
+        :meth:`repro.serving.cluster.ShardedCluster.swap_model` does both.
+        """
+        self.model = model
+        self.model_version = version
 
     # ------------------------------------------------------------------
     # pipeline stages
@@ -160,6 +180,7 @@ class SearchEngine:
             items=candidates[order],
             scores=scores[order],
             latency_ms=elapsed_ms,
+            model_version=self.model_version,
         )
 
     # ------------------------------------------------------------------

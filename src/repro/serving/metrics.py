@@ -1,9 +1,17 @@
-"""Serving metrics: QPS, latency percentiles, batch sizes, cache hit rate.
+"""Serving metrics: QPS, latency percentiles, batch sizes, cache hit rate,
+and online-loop events (model swaps, canary verdicts, click-log lag).
 
 Every serving component (engine, micro-batcher, shard workers) reports into
 a :class:`MetricsSink`; the cluster merges per-shard sinks into one fleet
-view.  The sink is pure accounting — it never influences scheduling — so
-tests can assert on it without perturbing behaviour.
+view.  The online learning loop (:mod:`repro.online`) reports its control
+events — hot swaps, canary pass/fail, click-log consumption lag — into the
+same sink, so one fleet report covers traffic *and* the feedback loop.  The
+sink is pure accounting — it never influences scheduling — so tests can
+assert on it without perturbing behaviour.
+
+Attaching the §III-F1 cost model (:meth:`MetricsSink.record_cost_model`)
+turns the cache hit counters into estimated FLOPs saved: every gate-cache
+hit skips one full gate-network evaluation.
 
 :class:`ManualClock` provides a deterministic time source: the batcher and
 load generator accept any ``() -> float`` callable, so tests advance time
@@ -18,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.serving.cache import CacheStats
+from repro.serving.cost import GateCostReport
 
 __all__ = ["ManualClock", "MetricsSink", "latency_percentile"]
 
@@ -64,6 +73,12 @@ class MetricsSink:
         self.cache_stats = CacheStats()
         self._first_ts: Optional[float] = None
         self._last_ts: Optional[float] = None
+        # Online-loop events (see repro.online): counters plus gauges.
+        self.swaps = 0
+        self.canary_passes = 0
+        self.canary_failures = 0
+        self.log_lag = 0  # gauge: logged-but-unconsumed click sessions
+        self.cost_model: Optional[GateCostReport] = None
 
     # ------------------------------------------------------------------
     # recording
@@ -83,6 +98,27 @@ class MetricsSink:
     def record_cache(self, stats: CacheStats) -> None:
         """Snapshot cache counters (overwrites the previous snapshot)."""
         self.cache_stats = CacheStats(stats.hits, stats.misses, stats.evictions)
+
+    def record_swap(self) -> None:
+        """One model hot-swap deployed into the serving stack."""
+        self.swaps += 1
+
+    def record_canary(self, passed: bool) -> None:
+        """One canary-gate verdict on a candidate model version."""
+        if passed:
+            self.canary_passes += 1
+        else:
+            self.canary_failures += 1
+
+    def record_log_lag(self, lag: int) -> None:
+        """Gauge: click-log sessions appended but not yet consumed by the
+        incremental trainer (freshness of the feedback loop)."""
+        self.log_lag = int(lag)
+
+    def record_cost_model(self, report: GateCostReport) -> None:
+        """Attach the §III-F1 FLOP cost model so cache counters translate
+        into estimated computation saved (see :attr:`gate_flops_saved`)."""
+        self.cost_model = report
 
     # ------------------------------------------------------------------
     # aggregates
@@ -122,8 +158,24 @@ class MetricsSink:
             return 0.0
         return float(np.mean(self.batch_sizes))
 
+    @property
+    def gate_flops_saved(self) -> int:
+        """Estimated gate-network FLOPs skipped thanks to cache hits.
+
+        Each gate-cache hit avoids exactly one gate evaluation, whose cost
+        the attached :class:`~repro.serving.cost.GateCostReport` supplies;
+        0 until :meth:`record_cost_model` is called.
+        """
+        if self.cost_model is None:
+            return 0
+        return self.cache_stats.hits * self.cost_model.gate_flops
+
     def merge(self, other: "MetricsSink") -> "MetricsSink":
-        """Fleet-level union of two sinks (latencies pooled, spans unioned)."""
+        """Fleet-level union of two sinks (latencies pooled, spans unioned).
+
+        Online counters sum; the log-lag gauge takes the worst (largest)
+        shard; the cost model carries over from whichever sink has one.
+        """
         merged = MetricsSink(clock=self._clock)
         merged.latencies_ms = self.latencies_ms + other.latencies_ms
         merged.batch_sizes = self.batch_sizes + other.batch_sizes
@@ -132,6 +184,11 @@ class MetricsSink:
         merged._first_ts = min(stamps) if stamps else None
         stamps = [ts for ts in (self._last_ts, other._last_ts) if ts is not None]
         merged._last_ts = max(stamps) if stamps else None
+        merged.swaps = self.swaps + other.swaps
+        merged.canary_passes = self.canary_passes + other.canary_passes
+        merged.canary_failures = self.canary_failures + other.canary_failures
+        merged.log_lag = max(self.log_lag, other.log_lag)
+        merged.cost_model = self.cost_model if self.cost_model is not None else other.cost_model
         return merged
 
     def summary(self) -> Dict[str, object]:
@@ -155,5 +212,18 @@ class MetricsSink:
                 "misses": self.cache_stats.misses,
                 "evictions": self.cache_stats.evictions,
                 "hit_rate": self.cache_stats.hit_rate,
+            },
+            "online": {
+                "swaps": self.swaps,
+                "canary_passes": self.canary_passes,
+                "canary_failures": self.canary_failures,
+                "click_log_lag": self.log_lag,
+            },
+            "cost": {
+                "gate_flops": self.cost_model.gate_flops if self.cost_model else None,
+                "gate_flops_saved_by_cache": self.gate_flops_saved,
+                "session_saving_factor": (
+                    self.cost_model.total_saving_factor if self.cost_model else None
+                ),
             },
         }

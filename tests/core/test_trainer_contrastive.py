@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import ContrastiveStrategy, ModelConfig, TrainConfig, build_model, train_model
-from repro.core.trainer import _build_optimizers
+from repro.core.trainer import build_optimizers
 from repro.utils import RunLog
 
 
@@ -71,13 +71,13 @@ class TestTrainer:
 class TestOptimizerGroups:
     def test_single_optimizer_by_default(self, train_set):
         model = build_model("aw_moe", ModelConfig.unit(), train_set.meta, np.random.default_rng(0))
-        optimizers = _build_optimizers(model, TrainConfig())
+        optimizers = build_optimizers(model, TrainConfig())
         assert len(optimizers) == 1
 
     def test_gate_multiplier_splits_groups(self, train_set):
         model = build_model("aw_moe", ModelConfig.unit(), train_set.meta, np.random.default_rng(0))
         config = TrainConfig(gate_lr_multiplier=3.0)
-        optimizers = _build_optimizers(model, config)
+        optimizers = build_optimizers(model, config)
         assert len(optimizers) == 2
         assert optimizers[1].lr == pytest.approx(3.0 * config.learning_rate)
         total = len(optimizers[0].params) + len(optimizers[1].params)
@@ -85,7 +85,7 @@ class TestOptimizerGroups:
 
     def test_gateless_model_single_group(self, train_set):
         model = build_model("dnn", ModelConfig.unit(), train_set.meta, np.random.default_rng(0))
-        optimizers = _build_optimizers(model, TrainConfig(gate_lr_multiplier=3.0))
+        optimizers = build_optimizers(model, TrainConfig(gate_lr_multiplier=3.0))
         assert len(optimizers) == 1
 
 

@@ -1,0 +1,122 @@
+"""Position-biased click model: examination curve and empirical CTR."""
+
+import numpy as np
+import pytest
+
+from repro.online import ClickModelConfig, PositionBiasedClickModel
+from repro.serving.engine import RankedList
+
+
+def _ranking(items, user=0, category=0):
+    items = np.asarray(items)
+    return RankedList(
+        user=user,
+        query_category=category,
+        items=items,
+        scores=np.linspace(1.0, 0.0, items.size),
+        latency_ms=0.0,
+    )
+
+
+def _constant_relevance(value):
+    return lambda user, items, category: np.full(len(items), value)
+
+
+class TestClickModelConfig:
+    def test_examination_curve_shape(self):
+        config = ClickModelConfig(top_examination=0.8, decay=0.5, max_positions=4)
+        np.testing.assert_allclose(
+            config.examination_probabilities(), [0.8, 0.4, 0.2, 0.1]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClickModelConfig(top_examination=0.0)
+        with pytest.raises(ValueError):
+            ClickModelConfig(decay=1.5)
+        with pytest.raises(ValueError):
+            ClickModelConfig(max_positions=0)
+
+    def test_world_or_relevance_required(self):
+        with pytest.raises(ValueError):
+            PositionBiasedClickModel(None, np.random.default_rng(0))
+
+
+class TestEmpiricalCTR:
+    """The satellite requirement: CTR decreases monotonically with position
+    and, under constant relevance, matches the configured examination
+    probabilities within sampling tolerance."""
+
+    NUM_SESSIONS = 8000
+
+    @pytest.fixture(scope="class")
+    def ctr_by_position(self):
+        config = ClickModelConfig(top_examination=0.7, decay=0.85, max_positions=10)
+        model = PositionBiasedClickModel(
+            None,
+            np.random.default_rng(123),
+            config=config,
+            relevance_fn=_constant_relevance(1.0),
+        )
+        clicks = np.zeros(config.max_positions)
+        for _ in range(self.NUM_SESSIONS):
+            clicks += model.clicks(_ranking(np.arange(10)))
+        return config, clicks / self.NUM_SESSIONS
+
+    def test_ctr_monotonically_decreasing(self, ctr_by_position):
+        _, ctr = ctr_by_position
+        assert np.all(np.diff(ctr) < 0.0)
+
+    def test_ctr_matches_configured_examination(self, ctr_by_position):
+        config, ctr = ctr_by_position
+        expected = config.examination_probabilities()
+        # With 8000 sessions the per-position standard error is ~0.005;
+        # 0.02 is a ~4-sigma band.
+        np.testing.assert_allclose(ctr, expected, atol=0.02)
+
+
+class TestClickGeneration:
+    def test_positions_beyond_page_never_clicked(self):
+        config = ClickModelConfig(max_positions=3)
+        model = PositionBiasedClickModel(
+            None, np.random.default_rng(0), config, _constant_relevance(1.0)
+        )
+        clicks = model.clicks(_ranking(np.arange(8)))
+        assert clicks.shape == (3,)
+
+    def test_short_ranking_truncates(self):
+        model = PositionBiasedClickModel(
+            None, np.random.default_rng(0), ClickModelConfig(), _constant_relevance(1.0)
+        )
+        assert model.clicks(_ranking(np.arange(4))).shape == (4,)
+
+    def test_zero_relevance_never_clicks(self):
+        model = PositionBiasedClickModel(
+            None, np.random.default_rng(0), ClickModelConfig(), _constant_relevance(0.0)
+        )
+        for _ in range(50):
+            assert model.clicks(_ranking(np.arange(10))).sum() == 0
+        assert model.clicks_generated == 0
+        assert model.impressions == 500
+
+    def test_world_relevance_favors_head(self, unit_world):
+        """With ground-truth relevance on real rankings the head of the list
+        still out-clicks the tail (examination bias dominates)."""
+        from repro.data.synthetic import true_relevance
+
+        rng = np.random.default_rng(7)
+        model = PositionBiasedClickModel(unit_world, rng, ClickModelConfig())
+        head = tail = 0.0
+        sessions = 300
+        for _ in range(sessions):
+            user = int(rng.integers(0, unit_world.num_users))
+            category = int(rng.integers(0, unit_world.config.num_categories))
+            items = np.flatnonzero(unit_world.item_category == category)
+            if items.size < 4:
+                continue
+            relevance = true_relevance(unit_world, user, items, category)
+            ranking = _ranking(items[np.argsort(-relevance)], user, category)
+            clicks = model.clicks(ranking)
+            head += clicks[: clicks.size // 2].sum()
+            tail += clicks[clicks.size // 2 :].sum()
+        assert head > tail

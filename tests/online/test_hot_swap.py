@@ -1,0 +1,163 @@
+"""Hot-swap under load: no mixed-version batches, no stale cached gates."""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    ManualClock,
+    MicroBatcher,
+    SearchEngine,
+    SessionCache,
+    ShardedCluster,
+)
+
+
+@pytest.fixture()
+def model_a(make_model):
+    return make_model(trained=True)
+
+
+@pytest.fixture()
+def model_b(make_model):
+    # Architecture-identical but differently initialized: scores differ
+    # loudly, so any stale-version leak is detectable.
+    return make_model(trained=False, init_seed=99)
+
+
+@pytest.fixture()
+def cluster(unit_world, model_a):
+    clock = ManualClock()
+    cluster = ShardedCluster(
+        unit_world,
+        model_a,
+        num_shards=2,
+        seed=0,
+        max_batch_size=4,
+        flush_deadline_ms=5.0,
+        cache_capacity=64,
+        clock=clock,
+    )
+    for worker in cluster.workers:
+        worker.engine.set_model(model_a, "v1")
+    return cluster
+
+
+def _drive(cluster, events):
+    results = []
+    for user, category in events:
+        results.extend(cluster.submit(user, category))
+    return results
+
+
+class TestSwapUnderLoad:
+    def test_no_mixed_version_results(self, cluster, model_b):
+        """Results before the swap carry the old tag, results after the new
+        one, and the swap itself drains pending work under the old model —
+        a flush is one forward, so no batch can mix versions."""
+        rng = np.random.default_rng(3)
+        events = [
+            (int(rng.integers(0, 200)), int(rng.integers(0, 8))) for _ in range(40)
+        ]
+        pre = _drive(cluster, events[:20])
+        drained = cluster.swap_model(model_b, "v2")
+        post = _drive(cluster, events[20:])
+        post.extend(cluster.flush())
+
+        assert all(r.model_version == "v1" for r in pre + drained)
+        assert all(r.model_version == "v2" for r in post)
+        assert len(pre) + len(drained) + len(post) == 40
+        for worker in cluster.workers:
+            assert worker.engine.model is model_b
+        assert cluster.model_version == "v2"
+        assert cluster.control.swaps == 1
+        assert cluster.merged_metrics().swaps == 1
+
+    def test_swap_invalidates_gate_cache(self, cluster, model_b):
+        """Cached gate vectors die with the model that produced them."""
+        events = [(7, 1)] * 4 + [(7, 1)] * 4  # same session key: second batch hits
+        _drive(cluster, events)
+        worker = cluster.worker_for(7)
+        assert worker.cache.gates.stats.hits > 0
+        assert len(worker.cache.gates) > 0
+        generation = worker.cache.generation
+
+        cluster.swap_model(model_b, "v2")
+        assert len(worker.cache.gates) == 0
+        assert worker.cache.generation == generation + 1
+
+    def test_post_swap_scores_match_new_model_exactly(
+        self, unit_world, cluster, model_b
+    ):
+        """After the swap, a hot session's scores equal a from-scratch
+        engine running the new model — no stale gate can linger."""
+        user, category = 7, 1
+        _drive(cluster, [(user, category)] * 4)  # cache the session gate under v1
+        cluster.swap_model(model_b, "v2")
+        results = _drive(cluster, [(user, category)] * 4)
+        assert results and all(r.model_version == "v2" for r in results)
+
+        engine = cluster.worker_for(user).engine
+        for ranking in results:
+            batch = engine.build_batch(user, category, ranking.items)
+            expected = model_b.predict_proba(batch)
+            np.testing.assert_allclose(ranking.scores, expected, rtol=1e-6, atol=1e-7)
+
+
+class TestGenerationGuard:
+    def test_stale_gate_discarded_without_flush(self, unit_world, model_a, model_b):
+        """Even a rogue swap that skips the drain cannot leak an old gate:
+        the batcher re-resolves any gate whose cache generation went stale
+        between submit and flush."""
+        engine = SearchEngine(unit_world, model_a, np.random.default_rng(0), model_version="v1")
+        cache = SessionCache(32)
+        batcher = MicroBatcher(engine, max_batch_size=64, cache=cache)
+
+        user, category = 11, 2
+        # Seed the cache with a v1 gate, then enqueue a query that hits it.
+        candidates = engine.retrieve(category)
+        seed_batch = engine.build_batch(user, category, candidates)
+        cache.put_gate(user, category, engine.session_gate(seed_batch))
+        batcher.submit(user, category)
+        assert batcher._pending[0].gate is not None
+
+        # Rogue swap: no drain, just model switch + invalidation.
+        engine.set_model(model_b, "v2")
+        cache.invalidate_all()
+        results = batcher.flush()
+
+        assert len(results) == 1
+        ranking = results[0]
+        assert ranking.model_version == "v2"
+        batch = engine.build_batch(user, category, ranking.items)
+        np.testing.assert_allclose(
+            ranking.scores, model_b.predict_proba(batch), rtol=1e-6, atol=1e-7
+        )
+
+    def test_without_invalidation_stale_gate_would_leak(
+        self, unit_world, model_a, model_b
+    ):
+        """Control experiment for the regression test above: skipping the
+        invalidation really does serve v1 gates under v2 — the hazard the
+        generation tag exists to kill."""
+        engine = SearchEngine(unit_world, model_a, np.random.default_rng(0), model_version="v1")
+        cache = SessionCache(32)
+        batcher = MicroBatcher(engine, max_batch_size=64, cache=cache)
+        user, category = 11, 2
+        candidates = engine.retrieve(category)
+        seed_batch = engine.build_batch(user, category, candidates)
+        stale_gate = engine.session_gate(seed_batch)
+        cache.put_gate(user, category, stale_gate)
+        batcher.submit(user, category)
+        engine.set_model(model_b, "v2")  # no invalidate_all: the bug
+        results = batcher.flush()
+
+        ranking = results[0]
+        batch = engine.build_batch(user, category, ranking.items)
+        clean = model_b.predict_proba(batch)
+        leaked = model_b.predict_proba(
+            batch, gate_override=np.tile(stale_gate, (len(ranking.items), 1))
+        )
+        np.testing.assert_allclose(
+            ranking.scores, np.sort(leaked)[::-1], rtol=1e-6, atol=1e-7
+        )
+        assert not np.allclose(np.sort(leaked)[::-1], np.sort(clean)[::-1])

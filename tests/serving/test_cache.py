@@ -111,3 +111,32 @@ class TestSessionCache:
         cache = SessionCache(gate_capacity=1, behavior_capacity=3)
         assert cache.gates.capacity == 1
         assert cache.behaviors.capacity == 3
+
+    def test_invalidate_all_drops_gates_and_bumps_generation(self):
+        """Regression test for the stale-cache hazard: after a model swap no
+        gate vector from the old model may survive, and the generation tag
+        lets in-flight consumers detect the swap."""
+        cache = SessionCache(8)
+        cache.put_gate(3, 1, np.zeros(2))
+        cache.put_gate(4, 2, np.ones(2))
+        cache.put_behavior(3, (np.zeros(1),) * 4)
+        assert cache.generation == 0
+        cache.invalidate_all()
+        assert cache.generation == 1
+        assert len(cache.gates) == 0
+        assert cache.get_gate(3, 1) is None
+        assert cache.get_gate(4, 2) is None
+        # Behaviour encodings are model-independent and survive by default.
+        assert cache.get_behavior(3) is not None
+
+    def test_invalidate_all_can_include_behaviors(self):
+        cache = SessionCache(8)
+        cache.put_behavior(3, (np.zeros(1),) * 4)
+        cache.invalidate_all(include_behaviors=True)
+        assert cache.get_behavior(3) is None
+
+    def test_generation_only_moves_forward(self):
+        cache = SessionCache(8)
+        for expected in range(1, 4):
+            cache.invalidate_all()
+            assert cache.generation == expected

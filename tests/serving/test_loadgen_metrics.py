@@ -167,3 +167,65 @@ class TestMetricsSink:
         clock.advance_to(5.0)
         clock.advance_to(1.0)  # never moves backwards
         assert clock.now() == 5.0
+
+
+class TestOnlineEventMetrics:
+    """Online-loop events flow through the same sink as query metrics."""
+
+    def test_swap_and_canary_counters(self):
+        sink = MetricsSink(clock=ManualClock())
+        sink.record_swap()
+        sink.record_swap()
+        sink.record_canary(True)
+        sink.record_canary(False)
+        sink.record_log_lag(37)
+        assert sink.swaps == 2
+        assert (sink.canary_passes, sink.canary_failures) == (1, 1)
+        assert sink.log_lag == 37
+
+    def test_merge_sums_counters_and_takes_worst_lag(self):
+        a, b = MetricsSink(clock=ManualClock()), MetricsSink(clock=ManualClock())
+        a.record_swap()
+        a.record_canary(True)
+        a.record_log_lag(5)
+        b.record_canary(False)
+        b.record_log_lag(50)
+        merged = a.merge(b)
+        assert merged.swaps == 1
+        assert (merged.canary_passes, merged.canary_failures) == (1, 1)
+        assert merged.log_lag == 50
+
+    def test_summary_includes_online_section(self):
+        import json
+
+        sink = MetricsSink(clock=ManualClock())
+        sink.record_swap()
+        sink.record_canary(True)
+        sink.record_log_lag(12)
+        payload = json.loads(json.dumps(sink.summary()))
+        assert payload["online"] == {
+            "swaps": 1,
+            "canary_passes": 1,
+            "canary_failures": 0,
+            "click_log_lag": 12,
+        }
+
+    def test_cost_model_translates_cache_hits_to_flops(self, unit_world):
+        from repro.serving import compare_gate_strategies
+        from repro.serving.cache import CacheStats
+
+        report = compare_gate_strategies(
+            ModelConfig.unit(), unit_world.meta(), items_per_session=8, seq_len=8
+        )
+        sink = MetricsSink(clock=ManualClock())
+        assert sink.gate_flops_saved == 0
+        sink.record_cost_model(report)
+        sink.record_cache(CacheStats(hits=10, misses=5, evictions=0))
+        assert sink.gate_flops_saved == 10 * report.gate_flops
+        summary = sink.summary()
+        assert summary["cost"]["gate_flops"] == report.gate_flops
+        assert summary["cost"]["gate_flops_saved_by_cache"] == 10 * report.gate_flops
+        assert summary["cost"]["session_saving_factor"] > 1.0
+        # The cost model survives a merge.
+        merged = sink.merge(MetricsSink(clock=ManualClock()))
+        assert merged.cost_model is report

@@ -1,6 +1,9 @@
-"""Shared table-building helpers for the Tables II–V benchmarks."""
+"""Shared helpers for the benchmarks: table building and artifact guards."""
 
-from typing import Dict, List, Optional, Tuple
+import json
+import warnings
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -10,6 +13,56 @@ from repro.eval.auc import session_auc, session_auc_at_k
 from repro.eval.evaluator import predict_scores
 from repro.eval.ndcg import session_ndcg
 from repro.utils import format_float, print_table
+
+class BenchmarkRegressionWarning(UserWarning):
+    """A benchmark metric regressed versus the checked-in reference artifact."""
+
+
+def _dig(report: Dict, key_path: Sequence[str]):
+    value = report
+    for key in key_path:
+        if not isinstance(value, dict) or key not in value:
+            return None
+        value = value[key]
+    return value
+
+
+def compare_to_artifact(
+    report: Dict,
+    reference_path: Path,
+    key_paths: Sequence[Sequence[str]],
+    tolerance: float = 0.2,
+) -> List[str]:
+    """Warn — never fail — when a metric regresses beyond ``tolerance``.
+
+    Compares higher-is-better metrics (QPS, speedups) at each ``key_path``
+    in ``report`` against the reference artifact checked in at
+    ``reference_path``.  Timing benchmarks are machine-dependent, so a
+    regression is a *signal to investigate*, not a red build: a
+    :class:`BenchmarkRegressionWarning` is emitted per regressed metric and
+    the list of messages is returned (empty when clean or when no reference
+    exists yet).
+    """
+    if not reference_path.exists():
+        return []
+    reference = json.loads(reference_path.read_text())
+    messages: List[str] = []
+    for key_path in key_paths:
+        current = _dig(report, key_path)
+        baseline = _dig(reference, key_path)
+        if not isinstance(current, (int, float)) or not isinstance(baseline, (int, float)):
+            continue  # warn-never-fail: a partial key path must not raise
+        if baseline <= 0:
+            continue
+        if current < baseline * (1.0 - tolerance):
+            message = (
+                f"{'.'.join(key_path)} regressed {(1 - current / baseline):.0%} "
+                f"vs reference ({current:.2f} < {baseline:.2f} - {tolerance:.0%})"
+            )
+            messages.append(message)
+            warnings.warn(message, BenchmarkRegressionWarning, stacklevel=2)
+    return messages
+
 
 MODEL_LABELS = {
     "dnn": "DNN",

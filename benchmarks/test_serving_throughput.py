@@ -1,44 +1,75 @@
-"""Serving-throughput benchmark: single-query vs micro-batched + cached.
+"""Serving-throughput benchmarks: batching, caching, and compiled inference.
 
-Replays identical Zipf-distributed traffic (the repeated-user regime of
-production search, §III-F) through two serving stacks built over the same
-trained AW-MoE and the same retrieval RNG:
+Two benchmarks share this module:
 
-* **single** — the classic loop: one ``SearchEngine.search`` call per query,
-  one full model forward (gate network included) per query;
-* **batched** — the :class:`~repro.serving.batcher.MicroBatcher` with a
-  session cache: queries coalesce into one forward per tick and the gate is
-  evaluated at most once per (user, query-category) session.
+* :func:`test_serving_throughput` replays identical Zipf-distributed
+  traffic (the repeated-user regime of production search, §III-F) through
+  the single-query loop vs the micro-batcher + session cache, writing
+  ``benchmarks/artifacts/serving_throughput.json``;
+* :func:`test_compiled_inference_speedup` measures the compiled inference
+  path (:mod:`repro.infer`) against the eager ``Tensor`` forward — raw
+  single-query scoring, a mixed micro-batch flush, and end-to-end fleet
+  QPS on identical traffic — writing
+  ``benchmarks/artifacts/compiled_inference.json`` and warning (via
+  :func:`benchmarks._helpers.compare_to_artifact`) when compiled QPS
+  regresses >20% against the checked-in reference artifact.
 
-Reports QPS and latency percentiles for both and writes the comparison to
-``benchmarks/artifacts/serving_throughput.json``.
+``REPRO_SMOKE=1`` shrinks query counts and timing repeats so CI can
+exercise the compile path on every push.
 """
 
 import json
+import os
 import time
+import warnings
 from pathlib import Path
 
 import numpy as np
 
+from _helpers import compare_to_artifact
+from repro.infer import compile_model
 from repro.serving import (
     MetricsSink,
     MicroBatcher,
     SearchEngine,
     SessionCache,
+    ShardedCluster,
     ZipfLoadGenerator,
     replay,
 )
 from repro.utils import print_table
 
-NUM_QUERIES = 400
+SMOKE = os.environ.get("REPRO_SMOKE", "") == "1"
+#: Hard speedup gates only run on quiet machines: shared CI runners (GitHub
+#: sets ``CI=true``) get direction checks instead, plus the
+#: :func:`compare_to_artifact` regression warning — wall-clock ratios there
+#: measure the neighbourhood, not the code.
+STRICT_TIMING = not SMOKE and not os.environ.get("CI")
+NUM_QUERIES = 80 if SMOKE else 400
 MAX_BATCH = 16
-ARTIFACT = Path(__file__).parent / "artifacts" / "serving_throughput.json"
+# Smoke runs write to their own files so a full-fidelity artifact produced
+# earlier in the same CI job is never clobbered before upload.
+_SUFFIX = "_smoke" if SMOKE else ""
+ARTIFACT = Path(__file__).parent / "artifacts" / f"serving_throughput{_SUFFIX}.json"
+COMPILED_ARTIFACT = Path(__file__).parent / "artifacts" / f"compiled_inference{_SUFFIX}.json"
+COMPILED_REFERENCE = Path(__file__).parent / "reference" / "compiled_inference.json"
 
 
 def _timed(fn):
     start = time.perf_counter()
     result = fn()
     return result, time.perf_counter() - start
+
+
+def _best_seconds(fn, loops: int, repeats: int) -> float:
+    """Best-of-``repeats`` mean seconds per call over ``loops`` calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(loops):
+            fn()
+        best = min(best, (time.perf_counter() - start) / loops)
+    return best
 
 
 def test_serving_throughput(search_data, trained_models):
@@ -123,3 +154,150 @@ def test_serving_throughput(search_data, trained_models):
     assert batched_qps > single_qps
     assert cache.gate_hit_rate > 0.0
     assert max(batcher.metrics.batch_sizes) <= MAX_BATCH
+
+
+def test_compiled_inference_speedup(search_data, trained_models):
+    """Compiled plan vs eager ``Tensor`` forward, micro to macro.
+
+    Three measurements over the same trained AW-MoE:
+
+    * **single-query scoring** — one session's candidate batch, the unit of
+      work ``SearchEngine.search`` scores (acceptance: ≥ 2x compiled);
+    * **flush-sized batch scoring** — ``MAX_BATCH`` concatenated sessions,
+      the micro-batcher's forward (no uniform-session shortcut applies);
+    * **end-to-end fleet QPS** — identical Zipf traffic through two
+      2-shard clusters, compiled vs ``compile=False`` (includes retrieval
+      and feature assembly, so the gain is diluted but must stay > 1).
+    """
+    world, _, _ = search_data
+    model, _ = trained_models["aw_moe"]
+    model.eval()
+    compiled = compile_model(model)
+    loops = 5 if SMOKE else 40
+    repeats = 2 if SMOKE else 5
+
+    # -- single-query scoring -------------------------------------------
+    assembly_engine = SearchEngine(world, model, np.random.default_rng(11), compile=False)
+    candidates = assembly_engine.retrieve(3)
+    query_batch = assembly_engine.build_batch(7, 3, candidates)
+    compiled.predict_proba(query_batch)  # warm the arena
+    eager_single = _best_seconds(lambda: model.predict_proba(query_batch), loops, repeats)
+    compiled_single = _best_seconds(lambda: compiled.predict_proba(query_batch), loops, repeats)
+    single_speedup = eager_single / compiled_single
+
+    # -- flush-sized mixed batch ----------------------------------------
+    rng = np.random.default_rng(13)
+    session_batches = []
+    for user in range(MAX_BATCH):
+        category = int(rng.integers(0, world.config.num_categories))
+        session_batches.append(
+            assembly_engine.build_batch(user, category, assembly_engine.retrieve(category))
+        )
+    flush_batch = {
+        key: np.concatenate([b[key] for b in session_batches], axis=0)
+        for key in session_batches[0]
+    }
+    compiled.predict_proba(flush_batch)
+    eager_flush = _best_seconds(lambda: model.predict_proba(flush_batch), loops, repeats)
+    compiled_flush = _best_seconds(lambda: compiled.predict_proba(flush_batch), loops, repeats)
+    flush_speedup = eager_flush / compiled_flush
+
+    # -- end-to-end fleet -----------------------------------------------
+    events = ZipfLoadGenerator(
+        np.random.default_rng(17), world=world, zipf_exponent=1.2
+    ).generate(NUM_QUERIES)
+    fleet = {"eager": {"seconds": float("inf")}, "compiled": {"seconds": float("inf")}}
+    # Interleaved best-of-2 per configuration: e2e replays are short enough
+    # that a single background hiccup can swamp the margin on shared CI
+    # machines; keeping the best run of each makes the ratio a property of
+    # the code, not the neighbourhood.
+    for _ in range(1 if SMOKE else 2):
+        for label, compile_flag in (("eager", False), ("compiled", True)):
+            cluster = ShardedCluster(
+                world,
+                model,
+                num_shards=2,
+                seed=5,
+                max_batch_size=8,
+                flush_deadline_ms=50.0,
+                cache_capacity=2048,
+                compile=compile_flag,
+            )
+            results, seconds = _timed(lambda: replay(cluster, events))
+            assert len(results) == NUM_QUERIES
+            if seconds < fleet[label]["seconds"]:
+                fleet[label] = {"qps": NUM_QUERIES / seconds, "seconds": seconds}
+    fleet_improvement = fleet["compiled"]["qps"] / fleet["eager"]["qps"]
+
+    report = {
+        "smoke": SMOKE,
+        "queries": NUM_QUERIES,
+        "single_query": {
+            "rows": int(query_batch["label"].shape[0]),
+            "eager_us": eager_single * 1e6,
+            "compiled_us": compiled_single * 1e6,
+            "speedup": single_speedup,
+        },
+        "flush_batch": {
+            "rows": int(flush_batch["label"].shape[0]),
+            "eager_us": eager_flush * 1e6,
+            "compiled_us": compiled_flush * 1e6,
+            "speedup": flush_speedup,
+        },
+        "fleet": {
+            "num_shards": 2,
+            "eager_qps": fleet["eager"]["qps"],
+            "compiled_qps": fleet["compiled"]["qps"],
+            "qps_improvement": fleet_improvement,
+        },
+        "plan": compiled.stats(),
+    }
+    COMPILED_ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
+    COMPILED_ARTIFACT.write_text(json.dumps(report, indent=2))
+    regressions = [] if SMOKE else compare_to_artifact(
+        report,
+        COMPILED_REFERENCE,
+        [
+            ("single_query", "speedup"),
+            ("flush_batch", "speedup"),
+            ("fleet", "qps_improvement"),
+        ],
+    )
+
+    print_table(
+        ["Path", "eager", "compiled", "speedup"],
+        [
+            ["single-query scoring", f"{eager_single * 1e6:.0f} us",
+             f"{compiled_single * 1e6:.0f} us", f"{single_speedup:.2f}x"],
+            ["flush-batch scoring", f"{eager_flush * 1e6:.0f} us",
+             f"{compiled_flush * 1e6:.0f} us", f"{flush_speedup:.2f}x"],
+            ["fleet end-to-end", f"{fleet['eager']['qps']:.0f} qps",
+             f"{fleet['compiled']['qps']:.0f} qps", f"{fleet_improvement:.2f}x"],
+        ],
+        title=f"Compiled inference — artifact: {COMPILED_ARTIFACT.name}"
+        + (" [smoke]" if SMOKE else ""),
+    )
+    if regressions:
+        print("regression warnings:", *regressions, sep="\n  ")
+
+    # Acceptance: the compiled plan must at least double raw single-query
+    # scoring throughput and win end to end.  The hard gates apply on quiet
+    # machines (tier-1 on the dev box); smoke mode and shared CI runners
+    # check direction only — regressions there surface as
+    # BenchmarkRegressionWarning against the checked-in reference instead
+    # of a red build.
+    if STRICT_TIMING:
+        assert single_speedup >= 2.0
+        assert flush_speedup > 1.0
+        assert fleet_improvement > 1.0
+    else:
+        # Only the high-margin ratio is asserted off-box; the e2e fleet
+        # ratio is one short wall-clock replay, so on shared runners a bad
+        # number warns instead of failing the build.
+        assert single_speedup > 1.0
+        if fleet_improvement < 0.8:
+            warnings.warn(
+                f"compiled fleet QPS ratio {fleet_improvement:.2f} < 0.8 "
+                "(timing noise or a real regression — see the artifact)",
+                stacklevel=2,
+            )

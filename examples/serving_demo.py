@@ -49,7 +49,7 @@ def main() -> None:
             f"  user {user} searched category {category}: top items {list(top)}"
             f" ({ranking.latency_ms:.1f} ms)"
         )
-    print(f"Mean latency: {engine.mean_latency_ms:.1f} ms/query "
+    print(f"Mean latency: {engine.avg_latency_ms:.1f} ms/query "
           "(paper: ~20 ms on a production cluster)")
 
     # --- §III-F gate optimization -------------------------------------

@@ -18,6 +18,10 @@ Subpackages
     feature-importance driver.
 ``repro.gbdt``
     Gradient-boosted decision trees (stands in for XGBoost in Fig. 2).
+``repro.infer``
+    The compiled inference path: models traced into flat plans of fused
+    NumPy kernels over packed weights, executing allocation-free in a
+    preallocated buffer arena (what the serving fleet actually runs).
 ``repro.serving``
     Search-engine / serving-cost / A/B-test simulators (§III-F, §IV-I).
 ``repro.online``

@@ -33,10 +33,12 @@ def sparse_top_k(gate: Tensor, top_k: int) -> Tensor:
         raise ValueError(f"top_k must be in [1, {k_total}], got {top_k}")
     if top_k == k_total:
         return gate
-    # Threshold at the top_k-th value per row.
-    sorted_vals = np.sort(gate.data, axis=-1)
+    # Threshold at the top_k-th value per row (selection reads raw values
+    # through the documented fast path; gradients are unaffected).
+    raw = gate.detach_numpy()
+    sorted_vals = np.sort(raw, axis=-1)
     threshold = sorted_vals[:, -top_k][:, None]
-    drop = gate.data < threshold
+    drop = raw < threshold
     return masked_fill(gate, drop, 0.0)
 
 
@@ -74,7 +76,9 @@ class SparseGatedAWMoE(AWMoE):
     def serving_gate(self, batch: Batch) -> np.ndarray:
         """Cacheable gate = raw gate sparsified, matching the forward pass."""
         raw = self.gate_outputs(batch)
-        return sparse_top_k(Tensor(raw), self.top_k).numpy()
+        # Preserve the gate dtype: the default Tensor ctor would silently
+        # downcast a float64 gate to float32, diverging from forward_with_gate.
+        return sparse_top_k(Tensor(raw, dtype=raw.dtype), self.top_k).numpy()
 
     def active_expert_fraction(self, batch: Batch) -> float:
         """Measured sparsity: mean fraction of experts with non-zero gate."""

@@ -24,7 +24,13 @@ METRIC_NAMES = ("auc", "auc@10", "ndcg", "ndcg@10")
 def predict_scores(
     model: RankingModel, dataset: RankingDataset, batch_size: int = 1024
 ) -> np.ndarray:
-    """Predicted probabilities for every impression, in dataset order."""
+    """Predicted probabilities for every impression, in dataset order.
+
+    ``model`` is anything exposing ``predict_proba(batch)`` — an eager
+    :class:`~repro.core.ranking_model.RankingModel` or a compiled
+    :class:`~repro.infer.CompiledModel` (the canary gate replays through
+    the latter).
+    """
     chunks = []
     for batch in iterate_batches(dataset, batch_size):
         chunks.append(model.predict_proba(batch))

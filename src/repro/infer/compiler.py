@@ -1,0 +1,659 @@
+"""The inference compiler: eager model → flat fused :class:`InferencePlan`.
+
+``compile_model`` traces a model's forward structure once, packs every weight
+into contiguous arrays of the plan dtype, and emits two plans:
+
+* a **gate plan** — the candidate-independent subgraph (§III-F1).  In search
+  mode the gate reads only the behaviour sequence and the query, so the
+  serving session cache can run this plan once per session and feed the
+  result straight back through ``gate_override``;
+* a **score plan** — input network + experts + the gate-weighted mixture,
+  taking the gate as an input (either the gate plan's output or a cached
+  override).
+
+Differences from the eager ``Tensor`` forward, and why they are safe:
+
+* weights are packed **once** (contiguous, float32 by default) instead of
+  being re-read through ``Parameter`` wrappers;
+* the attention/gate units' shared ``[h ‖ h⊙key ‖ key]`` input is built once
+  per plan instead of twice (bitwise-identical values);
+* the K expert heads run as one packed GEMM per layer
+  (:class:`~repro.infer.kernels.PackedExperts`) instead of K small matmuls;
+* every intermediate lives in a :class:`~repro.infer.plan.BufferArena`
+  buffer, so steady-state execution allocates nothing.
+
+``dtype=np.float64`` selects **parity mode**: fusions that could change
+floating-point evaluation order (the packed expert GEMM) are disabled and the
+plan replays the exact eager op order, making compiled scores bitwise equal
+to a float64 eager forward — the compiler's correctness oracle
+(``tests/infer/test_parity.py``).
+
+New model families register themselves with :func:`register_compiler`;
+models nobody registered raise :class:`CompileError`, which the serving
+stack treats as "fall back to the eager forward".
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.infer.kernels import (
+    PackedExperts,
+    PackedMLP,
+    gather_rows,
+    masked_pool,
+    pairwise_concat,
+    sigmoid_,
+    softmax_,
+    sparsify_top_k_,
+)
+from repro.infer.plan import BufferArena, InferencePlan, PlanStep
+
+__all__ = [
+    "CompileError",
+    "CompiledModel",
+    "compile_model",
+    "register_compiler",
+    "float64_twin",
+]
+
+
+class CompileError(RuntimeError):
+    """Raised when no compiler is registered for a model's type."""
+
+
+_COMPILERS: Dict[type, Callable] = {}
+
+
+def register_compiler(model_cls: type) -> Callable:
+    """Class decorator-style registration: ``fn(model, dtype) -> CompiledModel``."""
+
+    def decorator(fn: Callable) -> Callable:
+        _COMPILERS[model_cls] = fn
+        return fn
+
+    return decorator
+
+
+def compile_model(model, dtype=np.float32) -> "CompiledModel":
+    """Compile ``model``'s forward into an allocation-free inference plan.
+
+    Dispatches over the model's MRO so subclasses (e.g. the sparse-gate
+    extension) can either reuse or override their parent's compiler.
+    """
+    dtype = np.dtype(dtype)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise CompileError(f"unsupported plan dtype {dtype}")
+    for klass in type(model).__mro__:
+        fn = _COMPILERS.get(klass)
+        if fn is not None:
+            return fn(model, dtype)
+    raise CompileError(
+        f"no inference compiler registered for {type(model).__name__}; "
+        "serving falls back to the eager forward"
+    )
+
+
+def float64_twin(model):
+    """A deep copy of ``model`` with every parameter upcast to float64.
+
+    The parity harness runs this twin eagerly and demands bitwise equality
+    with the float64 compiled plan — float32→float64 casts are exact, so the
+    twin and the plan share identical weights.
+    """
+    twin = copy.deepcopy(model)
+    for param in twin.parameters():
+        param.data = param.data.astype(np.float64)
+    return twin
+
+
+# ----------------------------------------------------------------------
+# shared step builders
+# ----------------------------------------------------------------------
+def _mask32(ctx: dict, arena: BufferArena, step: str) -> np.ndarray:
+    """The behaviour mask as float32, mirroring the eager ``np.asarray``
+    coercion (no copy when the batch already carries float32)."""
+    mask = ctx["batch"]["behavior_mask"]
+    if mask.dtype == np.float32:
+        return mask
+    buf = arena.lease(step, "mask32", mask.shape, dtype=np.float32)
+    buf[...] = mask
+    return buf
+
+
+def _embed_concat_step(
+    name: str,
+    arena: BufferArena,
+    tables: List[Tuple[np.ndarray, str]],
+    dense_key: Optional[str],
+    dense_dim: int,
+    out_key: str,
+) -> PlanStep:
+    """Fused gather+concat: id embeddings and dense profile features written
+    straight into one representation buffer (the eager path's ``Embedding``
+    lookups plus ``concat``)."""
+    widths = [table.shape[1] for table, _ in tables]
+    total = sum(widths) + dense_dim
+
+    def fn(ctx: dict) -> None:
+        batch = ctx["batch"]
+        lead = batch[tables[0][1]].shape  # (B,) or (B, M)
+        out = arena.lease(name, "out", lead + (total,))
+        offset = 0
+        for (table, key), width in zip(tables, widths):
+            gather_rows(table, batch[key], out[..., offset : offset + width])
+            offset += width
+        if dense_key is not None:
+            out[..., offset:] = batch[dense_key]
+        ctx[out_key] = out
+
+    reads = tuple(key for _, key in tables) + ((dense_key,) if dense_key else ())
+    return PlanStep(name, "embed", fn, reads=reads, writes=(out_key,))
+
+
+def _mlp_step(
+    name: str,
+    arena: BufferArena,
+    pack: PackedMLP,
+    in_key: str,
+    out_key: str,
+) -> PlanStep:
+    """Fused matmul+bias+activation chain; 3-D inputs run as one flat GEMM."""
+
+    binder = arena.binder(name)
+
+    def fn(ctx: dict) -> None:
+        x = ctx[in_key]
+        shape = x.shape
+        flat = x.reshape(-1, shape[-1]) if x.ndim != 2 else x
+        out = pack.run(flat, binder)
+        if x.ndim != 2:
+            out = out.reshape(shape[:-1] + (pack.out_features,))
+        ctx[out_key] = out
+
+    return PlanStep(name, "mlp", fn, reads=(in_key,), writes=(out_key,))
+
+
+def _batch_mlp_step(name: str, arena: BufferArena, pack: PackedMLP, batch_key: str, out_key: str) -> PlanStep:
+    """MLP whose input comes directly from a batch array (dense features)."""
+
+    binder = arena.binder(name)
+
+    def fn(ctx: dict) -> None:
+        ctx[out_key] = pack.run(ctx["batch"][batch_key], binder)
+
+    return PlanStep(name, "mlp", fn, reads=(batch_key,), writes=(out_key,))
+
+
+def _pairwise_step(name: str, arena: BufferArena, seq_key: str, key_key: str, out_key: str) -> PlanStep:
+    """Attention-unit input ``[h ‖ h⊙key ‖ key]`` — built once and shared by
+    the gate and activation units (the eager path materializes it twice)."""
+
+    def fn(ctx: dict) -> None:
+        h_seq = ctx[seq_key]
+        batch, seq_len, hidden = h_seq.shape
+        out = arena.lease(name, "pw", (batch, seq_len, 3 * hidden))
+        pairwise_concat(h_seq, ctx[key_key], out)
+        ctx[out_key] = out
+
+    return PlanStep(name, "attention", fn, reads=(seq_key, key_key), writes=(out_key,))
+
+
+def _unit_scores_step(
+    name: str,
+    arena: BufferArena,
+    pack: PackedMLP,
+    pairwise_key: str,
+    out_key: str,
+    squeeze: bool,
+) -> PlanStep:
+    """Activation/gate-unit MLP over the pairwise input, masked at padding."""
+
+    binder = arena.binder(name)
+
+    def fn(ctx: dict) -> None:
+        pw = ctx[pairwise_key]
+        batch, seq_len, width = pw.shape
+        out = pack.run(pw.reshape(batch * seq_len, width), binder)
+        mask = _mask32(ctx, arena, name)
+        if squeeze:
+            scores = out.reshape(batch, seq_len)
+            np.multiply(scores, mask, out=scores)
+        else:
+            scores = out.reshape(batch, seq_len, pack.out_features)
+            np.multiply(scores, mask[:, :, None], out=scores)
+        ctx[out_key] = scores
+
+    return PlanStep(
+        name, "attention", fn, reads=(pairwise_key, "behavior_mask"), writes=(out_key,)
+    )
+
+
+def _concat_step(
+    name: str, arena: BufferArena, part_keys: List[str], widths: List[int], out_key: str
+) -> PlanStep:
+    total = sum(widths)
+
+    def fn(ctx: dict) -> None:
+        first = ctx[part_keys[0]]
+        out = arena.lease(name, "out", (first.shape[0], total))
+        offset = 0
+        for key, width in zip(part_keys, widths):
+            out[:, offset : offset + width] = ctx[key]
+            offset += width
+        ctx[out_key] = out
+
+    return PlanStep(name, "concat", fn, reads=tuple(part_keys), writes=(out_key,))
+
+
+# ----------------------------------------------------------------------
+# AW-MoE compiler
+# ----------------------------------------------------------------------
+def _pack_embedder(embedder, dtype) -> Dict[str, np.ndarray]:
+    # np.array (not asarray): plans are weight snapshots, never aliases.
+    return {
+        "item": np.array(embedder.item.weight.detach_numpy(), dtype=dtype, order="C"),
+        "category": np.array(embedder.category.weight.detach_numpy(), dtype=dtype, order="C"),
+        "query": np.array(embedder.query.weight.detach_numpy(), dtype=dtype, order="C"),
+    }
+
+
+def _build_score_plan(model, dtype: np.dtype, parity: bool) -> InferencePlan:
+    """Input network + experts + gate-weighted mix (reads ctx['gate'])."""
+    arena = BufferArena(dtype)
+    net = model.input_network
+    tables = _pack_embedder(model.embedder, dtype)
+    dense_dim = int(model.embedder.item_repr_dim - tables["item"].shape[1] - tables["category"].shape[1])
+    hidden = net.hidden_dim
+
+    steps: List[PlanStep] = [
+        _embed_concat_step(
+            "input.behavior_repr",
+            arena,
+            [(tables["item"], "behavior_items"), (tables["category"], "behavior_categories")],
+            "behavior_dense",
+            dense_dim,
+            "behavior_repr",
+        ),
+        _embed_concat_step(
+            "input.target_repr",
+            arena,
+            [(tables["item"], "target_item"), (tables["category"], "target_category")],
+            "target_dense",
+            dense_dim,
+            "target_repr",
+        ),
+    ]
+    behavior_pack = PackedMLP.from_module(net.behavior_mlp, dtype)
+    steps.append(_mlp_step("input.h_target", arena, behavior_pack, "target_repr", "h_target"))
+    steps.append(_mlp_step("input.h_behavior", arena, behavior_pack, "behavior_repr", "h_behavior"))
+
+    if net.pooling != "attention":  # pragma: no cover - AW-MoE always pools by attention
+        raise CompileError(f"unsupported input pooling {net.pooling!r}")
+    att_pack = PackedMLP.from_module(net.attention.mlp, dtype)
+    steps.append(_pairwise_step("input.att_pairwise", arena, "h_behavior", "h_target", "att_pw"))
+    steps.append(_unit_scores_step("input.att_weights", arena, att_pack, "att_pw", "att_weights", squeeze=True))
+
+    def pool_fn(ctx: dict) -> None:
+        h_behavior = ctx["h_behavior"]
+        out = arena.lease("input.v_user", "out", (h_behavior.shape[0], hidden))
+        scratch = arena.lease("input.v_user", "weighted", h_behavior.shape)
+        masked_pool(h_behavior, ctx["att_weights"], scratch, out)
+        ctx["v_user"] = out
+
+    steps.append(PlanStep("input.v_user", "pool", pool_fn, reads=("h_behavior", "att_weights"), writes=("v_user",)))
+
+    other_pack = PackedMLP.from_module(net.other_mlp, dtype)
+    steps.append(_batch_mlp_step("input.h_other", arena, other_pack, "other_features", "h_other"))
+
+    part_keys = ["v_user", "h_target"]
+    if net.query_mlp is not None:
+        query_pack = PackedMLP.from_module(net.query_mlp, dtype)
+        steps.append(
+            _embed_concat_step(
+                "input.query_repr", arena, [(tables["query"], "query")], None, 0, "query_repr"
+            )
+        )
+        steps.append(_mlp_step("input.h_query", arena, query_pack, "query_repr", "h_query"))
+        part_keys.append("h_query")
+    part_keys.append("h_other")
+    steps.append(
+        _concat_step("input.v_imp", arena, part_keys, [hidden] * len(part_keys), "v_imp")
+    )
+
+    num_experts = model.experts.num_experts
+    if parity:
+        expert_packs = [
+            (PackedMLP.from_module(e.mlp, dtype), arena.binder(f"experts.k{k}"))
+            for k, e in enumerate(model.experts._experts)
+        ]
+
+        def experts_fn(ctx: dict) -> None:
+            v_imp = ctx["v_imp"]
+            scores = arena.lease("experts", "scores", (v_imp.shape[0], num_experts))
+            for k, (pack, binder) in enumerate(expert_packs):
+                out = pack.run(v_imp, binder)
+                scores[:, k] = out[:, 0]
+            ctx["expert_scores"] = scores
+
+        steps.append(PlanStep("experts", "experts", experts_fn, reads=("v_imp",), writes=("expert_scores",)))
+    else:
+        packed = PackedExperts(model.experts._experts, dtype)
+
+        experts_binder = arena.binder("experts")
+
+        def experts_fn(ctx: dict) -> None:
+            ctx["expert_scores"] = packed.run(ctx["v_imp"], experts_binder)
+
+        steps.append(PlanStep("experts", "experts", experts_fn, reads=("v_imp",), writes=("expert_scores",)))
+
+    def mix_fn(ctx: dict) -> None:
+        scores = ctx["expert_scores"]
+        weighted = arena.lease("mix", "weighted", scores.shape)
+        np.multiply(ctx["gate"], scores, out=weighted)
+        logits = arena.lease("mix", "logits", (scores.shape[0],))
+        weighted.sum(axis=1, out=logits)
+        ctx["logits"] = logits
+
+    steps.append(PlanStep("mix", "mix", mix_fn, reads=("expert_scores", "gate"), writes=("logits",)))
+
+    inputs = ["behavior_items", "behavior_categories", "behavior_dense", "behavior_mask",
+              "target_item", "target_category", "target_dense", "other_features"]
+    if net.query_mlp is not None:
+        inputs.append("query")
+    return InferencePlan("score", steps, "logits", arena, tuple(inputs))
+
+
+def _build_gate_plan(model, dtype: np.dtype, top_k: Optional[int] = None) -> InferencePlan:
+    """The candidate-independent gate subgraph ``g`` (Eq. 6–8).
+
+    In search mode this plan never touches the target item, which is what
+    lets the session cache evaluate it once per (user, query) and reuse the
+    vector for every candidate — the §III-F1 deployed optimization.
+    """
+    arena = BufferArena(dtype)
+    gate = model.gate
+    config = model.config
+    tables = _pack_embedder(model.embedder, dtype)
+    dense_dim = int(model.embedder.item_repr_dim - tables["item"].shape[1] - tables["category"].shape[1])
+    hidden = gate.hidden_dim
+
+    steps: List[PlanStep] = [
+        _embed_concat_step(
+            "gate.behavior_repr",
+            arena,
+            [(tables["item"], "behavior_items"), (tables["category"], "behavior_categories")],
+            "behavior_dense",
+            dense_dim,
+            "behavior_repr",
+        ),
+    ]
+    behavior_pack = PackedMLP.from_module(gate.behavior_mlp, dtype)
+    steps.append(_mlp_step("gate.h_behavior", arena, behavior_pack, "behavior_repr", "h_behavior"))
+
+    if config.task == "search":
+        steps.append(
+            _embed_concat_step("gate.key_repr", arena, [(tables["query"], "query")], None, 0, "key_repr")
+        )
+        key_inputs = ["query"]
+    else:
+        steps.append(
+            _embed_concat_step(
+                "gate.key_repr",
+                arena,
+                [(tables["item"], "target_item"), (tables["category"], "target_category")],
+                "target_dense",
+                dense_dim,
+                "key_repr",
+            )
+        )
+        key_inputs = ["target_item", "target_category", "target_dense"]
+    key_pack = PackedMLP.from_module(gate.key_mlp, dtype)
+    steps.append(_mlp_step("gate.h_key", arena, key_pack, "key_repr", "h_key"))
+
+    def counts_fn(ctx: dict) -> None:
+        mask = _mask32(ctx, arena, "gate.counts")
+        counts = arena.lease("gate.counts", "counts", (mask.shape[0], 1), dtype=np.float32)
+        mask.sum(axis=1, keepdims=True, out=counts)
+        np.maximum(counts, 1.0, out=counts)
+        inv = arena.lease("gate.counts", "inv", (mask.shape[0], 1), dtype=np.float32)
+        np.divide(1.0, counts, out=inv)
+        ctx["inv_counts"] = inv
+
+    steps.append(PlanStep("gate.counts", "pool", counts_fn, reads=("behavior_mask",), writes=("inv_counts",)))
+
+    steps.append(_pairwise_step("gate.pairwise", arena, "h_behavior", "h_key", "gate_pw"))
+    num_experts = int(config.num_experts)
+
+    if gate.gate_unit is not None:
+        gu_pack = PackedMLP.from_module(gate.gate_unit.mlp, dtype)
+        steps.append(
+            _unit_scores_step("gate.item_scores", arena, gu_pack, "gate_pw", "item_scores", squeeze=False)
+        )
+        if gate.activation_unit is not None:
+            au_pack = PackedMLP.from_module(gate.activation_unit.mlp, dtype)
+            steps.append(
+                _unit_scores_step("gate.att_weights", arena, au_pack, "gate_pw", "att_weights", squeeze=True)
+            )
+
+            def pool_fn(ctx: dict) -> None:
+                item_scores = ctx["item_scores"]
+                tmp = arena.lease("gate.pool", "weighted", item_scores.shape)
+                np.multiply(item_scores, ctx["att_weights"][:, :, None], out=tmp)
+                out = arena.lease("gate.pool", "gate", (item_scores.shape[0], num_experts))
+                tmp.sum(axis=1, out=out)
+                np.multiply(out, ctx["inv_counts"], out=out)
+                ctx["gate"] = out
+
+            reads = ("item_scores", "att_weights", "inv_counts")
+        else:
+
+            def pool_fn(ctx: dict) -> None:
+                item_scores = ctx["item_scores"]
+                out = arena.lease("gate.pool", "gate", (item_scores.shape[0], num_experts))
+                item_scores.sum(axis=1, out=out)
+                np.multiply(out, ctx["inv_counts"], out=out)
+                ctx["gate"] = out
+
+            reads = ("item_scores", "inv_counts")
+        steps.append(PlanStep("gate.pool", "pool", pool_fn, reads=reads, writes=("gate",)))
+    else:
+        # Ablation variants (Table VI "Base"/"Base+AU"): pooled behaviour ‖ key -> FFN.
+        pooled_pack = PackedMLP.from_module(gate.pooled_mlp, dtype)
+        if gate.activation_unit is not None:
+            au_pack = PackedMLP.from_module(gate.activation_unit.mlp, dtype)
+            steps.append(
+                _unit_scores_step("gate.att_weights", arena, au_pack, "gate_pw", "att_weights", squeeze=True)
+            )
+
+            def pooled_fn(ctx: dict) -> None:
+                h_behavior = ctx["h_behavior"]
+                out = arena.lease("gate.pooled", "out", (h_behavior.shape[0], hidden))
+                scratch = arena.lease("gate.pooled", "weighted", h_behavior.shape)
+                masked_pool(h_behavior, ctx["att_weights"], scratch, out)
+                np.multiply(out, ctx["inv_counts"], out=out)
+                ctx["pooled"] = out
+
+            reads = ("h_behavior", "att_weights", "inv_counts")
+        else:
+
+            def pooled_fn(ctx: dict) -> None:
+                h_behavior = ctx["h_behavior"]
+                mask = _mask32(ctx, arena, "gate.pooled")
+                out = arena.lease("gate.pooled", "out", (h_behavior.shape[0], hidden))
+                scratch = arena.lease("gate.pooled", "weighted", h_behavior.shape)
+                masked_pool(h_behavior, mask, scratch, out)
+                np.multiply(out, ctx["inv_counts"], out=out)
+                ctx["pooled"] = out
+
+            reads = ("h_behavior", "behavior_mask", "inv_counts")
+        steps.append(PlanStep("gate.pooled", "pool", pooled_fn, reads=reads, writes=("pooled",)))
+        steps.append(_concat_step("gate.pooled_cat", arena, ["pooled", "h_key"], [hidden, hidden], "pooled_cat"))
+        steps.append(_mlp_step("gate.pooled_mlp", arena, pooled_pack, "pooled_cat", "gate"))
+
+    if gate.bias is not None:
+        bias = np.array(gate.bias.detach_numpy(), dtype=dtype, order="C")
+
+        def bias_fn(ctx: dict) -> None:
+            ctx["gate"] += bias
+
+        steps.append(PlanStep("gate.bias", "bias", bias_fn, reads=("gate",), writes=("gate",)))
+
+    if config.normalize_gate:
+
+        def softmax_fn(ctx: dict) -> None:
+            out = ctx["gate"]
+            scratch_max = arena.lease("gate.softmax", "max", (out.shape[0], 1))
+            scratch_sum = arena.lease("gate.softmax", "sum", (out.shape[0], 1))
+            softmax_(out, scratch_max, scratch_sum)
+
+        steps.append(PlanStep("gate.softmax", "softmax", softmax_fn, reads=("gate",), writes=("gate",)))
+
+    if top_k is not None:
+
+        def sparsify_fn(ctx: dict) -> None:
+            out = ctx["gate"]
+            scratch_sorted = arena.lease("gate.topk", "sorted", out.shape)
+            scratch_drop = arena.lease("gate.topk", "drop", out.shape, dtype=np.bool_)
+            sparsify_top_k_(out, top_k, scratch_sorted, scratch_drop)
+
+        steps.append(PlanStep("gate.topk", "sparsify", sparsify_fn, reads=("gate",), writes=("gate",)))
+
+    inputs = ["behavior_items", "behavior_categories", "behavior_dense", "behavior_mask"] + key_inputs
+    return InferencePlan("gate", steps, "gate", arena, tuple(inputs))
+
+
+class CompiledModel:
+    """A model frozen for serving: gate plan + score plan + packed weights.
+
+    Mirrors the :class:`~repro.core.ranking_model.RankingModel` inference
+    surface (``predict_logits`` / ``predict_proba`` / ``serving_gate`` /
+    ``gate_is_candidate_independent``) so the serving stack and the canary
+    gate can swap it in wherever an eager model scored before.
+    """
+
+    def __init__(
+        self,
+        source,
+        gate_plan: InferencePlan,
+        score_plan: InferencePlan,
+        dtype: np.dtype,
+    ) -> None:
+        self.source = source
+        self.gate_plan = gate_plan
+        self.score_plan = score_plan
+        self.dtype = np.dtype(dtype)
+        #: Uniform-session gate dedup (§III-F1): when every row of a batch
+        #: carries the same behaviour sequence and query — the shape of a
+        #: single-query candidate batch — the candidate-independent gate
+        #: plan runs on one row and is broadcast, instead of redundantly
+        #: scoring B identical rows.  Disabled in float64 parity mode so
+        #: bitwise comparisons see the exact eager op order.
+        self.uniform_session_dedup = self.dtype == np.dtype(np.float32)
+
+    @property
+    def gate_is_candidate_independent(self) -> bool:
+        return bool(getattr(self.source, "gate_is_candidate_independent", False))
+
+    # -- scoring --------------------------------------------------------
+    def _uniform_session(self, batch) -> bool:
+        """Whether every row shares the gate plan's inputs (one session)."""
+        for key in self.gate_plan.inputs:
+            array = batch[key]
+            if array.shape[0] > 1 and not (array[1:] == array[:1]).all():
+                return False
+        return True
+
+    def _resolve_gate(self, batch, gate_override) -> np.ndarray:
+        if gate_override is not None:
+            # Cached session gates arrive as float32 exactly like the eager
+            # ``AWMoE._coerce_gate``; mixed-dtype multiply promotes identically.
+            return np.asarray(gate_override, dtype=np.float32)
+        if self.uniform_session_dedup and self.gate_is_candidate_independent:
+            rows = int(batch[self.gate_plan.inputs[0]].shape[0])
+            if rows > 1 and self._uniform_session(batch):
+                row = {key: batch[key][:1] for key in self.gate_plan.inputs}
+                gate_row = self.gate_plan.run(row)
+                tiled = self.gate_plan.arena.lease(
+                    "uniform", "tile", (rows, gate_row.shape[1])
+                )
+                tiled[...] = gate_row
+                return tiled
+        return self.gate_plan.run(batch)
+
+    def predict_logits(self, batch, gate_override=None, copy: bool = True) -> np.ndarray:
+        """Raw logits ``Σ_k g_k s_k``.
+
+        ``copy=False`` returns the arena buffer itself, valid only until the
+        next call on this plan — an opt-in zero-allocation path for callers
+        that consume scores immediately.  The default copies, and every
+        stock caller (the serving engine included) keeps it: results may
+        outlive the next flush, so the copy is load-bearing.
+        """
+        gate = self._resolve_gate(batch, gate_override)
+        logits = self.score_plan.run(batch, gate=gate)
+        return logits.copy() if copy else logits
+
+    def predict_proba(self, batch, gate_override=None, copy: bool = True) -> np.ndarray:
+        """Predicted probabilities ``σ(logits)`` (same contract as eager)."""
+        logits = self.predict_logits(batch, gate_override=gate_override, copy=False)
+        sigmoid_(logits)
+        return logits.copy() if copy else logits
+
+    def serving_gate(self, batch) -> np.ndarray:
+        """Cache-ready gate matrix ``(B, K)`` — always a fresh copy, because
+        the session cache retains it across future plan executions."""
+        return self.gate_plan.run(batch).copy()
+
+    # -- introspection --------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Arena and call accounting for benchmarks and tests."""
+        return {
+            "dtype": str(self.dtype),
+            "score": {
+                "steps": self.score_plan.num_steps,
+                "calls": self.score_plan.calls,
+                "arena_buffers": self.score_plan.arena.num_buffers,
+                "arena_bytes": self.score_plan.arena.nbytes,
+                "arena_hits": self.score_plan.arena.hits,
+                "arena_misses": self.score_plan.arena.misses,
+            },
+            "gate": {
+                "steps": self.gate_plan.num_steps,
+                "calls": self.gate_plan.calls,
+                "arena_buffers": self.gate_plan.arena.num_buffers,
+                "arena_bytes": self.gate_plan.arena.nbytes,
+                "arena_hits": self.gate_plan.arena.hits,
+                "arena_misses": self.gate_plan.arena.misses,
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledModel({type(self.source).__name__}, dtype={self.dtype}, "
+            f"score_steps={self.score_plan.num_steps}, gate_steps={self.gate_plan.num_steps})"
+        )
+
+
+def _compile_awmoe(model, dtype: np.dtype) -> CompiledModel:
+    parity = dtype == np.dtype(np.float64)
+    top_k = getattr(model, "top_k", None)
+    gate_plan = _build_gate_plan(model, dtype, top_k=top_k)
+    score_plan = _build_score_plan(model, dtype, parity)
+    return CompiledModel(model, gate_plan, score_plan, dtype)
+
+
+def _register_builtin_compilers() -> None:
+    from repro.core.aw_moe import AWMoE
+    from repro.core.extensions.sparse_gate import SparseGatedAWMoE
+
+    _COMPILERS[AWMoE] = _compile_awmoe
+    # The sparse extension stores cached gates post-sparsification, so the
+    # same compiler applies — ``top_k`` is picked up from the instance.
+    _COMPILERS[SparseGatedAWMoE] = _compile_awmoe
+
+
+_register_builtin_compilers()

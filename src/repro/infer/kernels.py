@@ -1,0 +1,274 @@
+"""Fused NumPy kernels for the compiled inference path.
+
+Every kernel here writes into caller-provided buffers (leased from a
+:class:`~repro.infer.plan.BufferArena`) via NumPy's ``out=`` / in-place
+machinery, so a steady-state plan execution performs **zero array
+allocations** — the training autodiff's per-op allocation and graph
+bookkeeping are gone entirely.
+
+Two execution styles share these kernels:
+
+* **fused float32** (production): activations applied in place, the K expert
+  heads evaluated as one packed GEMM per layer (see :class:`PackedExperts`);
+* **float64 parity** (testing): the compiler keeps the exact op order of the
+  eager :class:`~repro.nn.tensor.Tensor` forward so results are bitwise
+  reproducible against a float64 eager model (``tests/infer/test_parity.py``).
+
+The kernels are deliberately *not* differentiable — this module never builds
+tensors; training keeps using :mod:`repro.nn`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ACTIVATIONS_INPLACE",
+    "PackedMLP",
+    "PackedExperts",
+    "gather_rows",
+    "pairwise_concat",
+    "masked_pool",
+    "sigmoid_",
+    "softmax_",
+    "sparsify_top_k_",
+]
+
+
+def _relu_(buf: np.ndarray) -> None:
+    np.maximum(buf, 0, out=buf)
+
+
+def _sigmoid_(buf: np.ndarray) -> None:
+    sigmoid_(buf)
+
+
+def _tanh_(buf: np.ndarray) -> None:
+    np.tanh(buf, out=buf)
+
+
+def _leaky_relu_(buf: np.ndarray) -> None:
+    # The one activation that cannot be fully in-place: the where= mask is a
+    # transient bool allocation.  No current model config selects leaky_relu
+    # on a compiled path; if one ever does, route the mask through the arena.
+    np.multiply(buf, 0.01, out=buf, where=buf < 0)
+
+
+def _identity_(buf: np.ndarray) -> None:
+    return None
+
+
+#: In-place activation kernels keyed by the layer-zoo activation names.
+ACTIVATIONS_INPLACE: dict = {
+    "relu": _relu_,
+    "sigmoid": _sigmoid_,
+    "tanh": _tanh_,
+    "leaky_relu": _leaky_relu_,
+    "linear": _identity_,
+    None: _identity_,
+}
+
+
+def sigmoid_(buf: np.ndarray) -> None:
+    """In-place logistic function via the same ops as ``predict_proba``:
+    ``clip(-60, 60)`` then ``1 / (1 + exp(-x))``."""
+    buf.clip(-60, 60, out=buf)
+    np.negative(buf, out=buf)
+    np.exp(buf, out=buf)
+    buf += 1.0
+    np.divide(1.0, buf, out=buf)
+
+
+def softmax_(buf: np.ndarray, scratch_max: np.ndarray, scratch_sum: np.ndarray) -> None:
+    """In-place softmax over the last axis, mirroring :func:`repro.nn.ops.
+    softmax`'s shifted-exp formulation (``scratch_*`` are ``(..., 1)``)."""
+    buf.max(axis=-1, keepdims=True, out=scratch_max)
+    buf -= scratch_max
+    np.exp(buf, out=buf)
+    buf.sum(axis=-1, keepdims=True, out=scratch_sum)
+    buf /= scratch_sum
+
+
+def sparsify_top_k_(
+    gate: np.ndarray, top_k: int, scratch_sorted: np.ndarray, scratch_drop: np.ndarray
+) -> None:
+    """In-place top-K sparsification replicating :func:`repro.core.extensions.
+    sparse_gate.sparse_top_k` (ties at the threshold survive)."""
+    if top_k >= gate.shape[-1]:
+        return
+    scratch_sorted[...] = gate
+    scratch_sorted.sort(axis=-1)
+    np.less(gate, scratch_sorted[:, -top_k][:, None], out=scratch_drop)
+    np.copyto(gate, 0.0, where=scratch_drop)
+
+
+def gather_rows(table: np.ndarray, indices: np.ndarray, out: np.ndarray) -> None:
+    """``out[...] = table[indices]`` without temporary allocation.
+
+    ``out`` may be a strided slice of a wider concat buffer (``ndarray.take``
+    buffers through it directly).  Out-of-range ids raise ``IndexError``
+    exactly like :class:`repro.nn.layers.Embedding`.
+    """
+    table.take(indices, axis=0, out=out)
+
+
+class PackedMLP:
+    """An :class:`repro.nn.layers.MLP` frozen into contiguous weight arrays.
+
+    ``layers`` holds ``(W, b, activation)`` triples in execution order;
+    weights are packed once at compile time in the plan dtype.  Dropout
+    layers vanish (inference always runs eval semantics).
+    """
+
+    __slots__ = ("layers", "in_features", "out_features", "_program")
+
+    def __init__(self, layers: List[Tuple[np.ndarray, Optional[np.ndarray], Optional[str]]]):
+        if not layers:
+            raise ValueError("PackedMLP needs at least one layer")
+        self.layers = layers
+        self.in_features = int(layers[0][0].shape[0])
+        self.out_features = int(layers[-1][0].shape[1])
+        # Per-layer (slot, W, b, activation_kernel) resolved once at pack
+        # time so the hot loop does no string formatting or dict lookups.
+        self._program = [
+            (f"fc{i}", weight, bias, ACTIVATIONS_INPLACE[act])
+            for i, (weight, bias, act) in enumerate(layers)
+        ]
+
+    @staticmethod
+    def from_module(mlp, dtype: np.dtype) -> "PackedMLP":
+        """Pack a :class:`repro.nn.layers.MLP` (weights copied, contiguous)."""
+        layers = []
+        last = len(mlp._linears) - 1
+        for i, linear in enumerate(mlp._linears):
+            act = mlp.output_activation if i == last else mlp.activation
+            # Always a copy: a plan must be a snapshot, never an alias of
+            # live training weights (hot-swap compiles the new model while
+            # the old plan keeps serving).
+            weight = np.array(linear.weight.detach_numpy(), dtype=dtype, order="C")
+            bias = (
+                np.array(linear.bias.detach_numpy(), dtype=dtype, order="C")
+                if linear.bias is not None
+                else None
+            )
+            layers.append((weight, bias, act))
+        return PackedMLP(layers)
+
+    def run(self, x2d: np.ndarray, lease: Callable[[str, Tuple[int, ...]], np.ndarray]) -> np.ndarray:
+        """Forward ``x2d`` (N, in) through every layer.
+
+        ``lease(slot, shape)`` returns a reusable buffer (the plan binds it
+        to the arena with a step-unique key prefix).  The returned array is
+        the last leased buffer.
+        """
+        h = x2d
+        rows = x2d.shape[0]
+        for slot, weight, bias, act in self._program:
+            out = lease(slot, (rows, weight.shape[1]))
+            np.matmul(h, weight, out=out)
+            if bias is not None:
+                out += bias
+            act(out)
+            h = out
+        return h
+
+
+class PackedExperts:
+    """K expert MLPs fused for one-shot evaluation (fused mode).
+
+    Layer 0 of every expert is packed **horizontally** into a single
+    ``(D, K*H)`` matrix — one GEMM scores all experts' first layers at once.
+    Deeper layers are stacked into ``(K, H_in, H_out)`` tensors and run as a
+    single batched matmul.  In parity mode the compiler bypasses this class
+    and evaluates experts one by one in the eager op order instead.
+    """
+
+    __slots__ = ("first_weight", "first_bias", "first_act", "deep", "num_experts", "widths", "_deep_program")
+
+    def __init__(self, experts: Sequence, dtype: np.dtype):
+        packs = [PackedMLP.from_module(e.mlp, dtype) for e in experts]
+        self.num_experts = len(packs)
+        depth = len(packs[0].layers)
+        self.widths = [w for (w, _, _) in packs[0].layers]
+        self.first_weight = np.ascontiguousarray(
+            np.concatenate([p.layers[0][0] for p in packs], axis=1)
+        )
+        biases = [p.layers[0][1] for p in packs]
+        self.first_bias = (
+            np.concatenate(biases) if biases[0] is not None else None
+        )
+        self.first_act = packs[0].layers[0][2]
+        # Deeper layers: (K, H_in, H_out) weight stacks + (K, 1, H_out) biases.
+        self.deep: List[Tuple[np.ndarray, Optional[np.ndarray], Optional[str]]] = []
+        for layer in range(1, depth):
+            w = np.ascontiguousarray(np.stack([p.layers[layer][0] for p in packs]))
+            b = (
+                np.ascontiguousarray(
+                    np.stack([p.layers[layer][1] for p in packs])[:, None, :]
+                )
+                if packs[0].layers[layer][1] is not None
+                else None
+            )
+            self.deep.append((w, b, packs[0].layers[layer][2]))
+        self._deep_program = [
+            (f"kbh{i + 1}", w, b, ACTIVATIONS_INPLACE[act])
+            for i, (w, b, act) in enumerate(self.deep)
+        ]
+
+    def run(
+        self, v_imp: np.ndarray, lease: Callable[[str, Tuple[int, ...]], np.ndarray]
+    ) -> np.ndarray:
+        """Expert score matrix ``(B, K)`` for impressions ``v_imp`` (B, D)."""
+        batch = v_imp.shape[0]
+        k = self.num_experts
+        h1_width = self.first_weight.shape[1] // k
+        h1 = lease("h1", (batch, k * h1_width))
+        np.matmul(v_imp, self.first_weight, out=h1)
+        if self.first_bias is not None:
+            h1 += self.first_bias
+        ACTIVATIONS_INPLACE[self.first_act](h1)
+        if not self.deep:
+            return h1  # single-layer experts: h1 already is (B, K)
+        # (B, K*H) -> (K, B, H) for batched per-expert GEMMs.
+        h = lease("kbh0", (k, batch, h1_width))
+        h[...] = h1.reshape(batch, k, h1_width).transpose(1, 0, 2)
+        for slot, weight, bias, act in self._deep_program:
+            out = lease(slot, (k, batch, weight.shape[2]))
+            np.matmul(h, weight, out=out)
+            if bias is not None:
+                out += bias
+            act(out)
+            h = out
+        scores = lease("scores", (batch, k))
+        scores[...] = h.reshape(k, batch).T
+        return scores
+
+
+def pairwise_concat(
+    h_seq: np.ndarray,
+    h_key: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """The activation/gate units' input ``[h_seq ‖ h_seq⊙key ‖ key]``.
+
+    Fuses the eager path's ``expand_dims + broadcast_to + concat`` (two full
+    materialized copies) into three strided writes on ``out`` (B, M, 3H).
+    """
+    hidden = h_seq.shape[-1]
+    out[..., :hidden] = h_seq
+    np.multiply(h_seq, h_key[:, None, :], out=out[..., hidden : 2 * hidden])
+    out[..., 2 * hidden :] = h_key[:, None, :]
+
+
+def masked_pool(
+    h_seq: np.ndarray,
+    weights: np.ndarray,
+    scratch: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """``out = (h_seq * weights[:, :, None]).sum(axis=1)`` — the attention
+    pooling of Eq. 3 — with ``scratch`` (B, M, H) absorbing the product."""
+    np.multiply(h_seq, weights[:, :, None], out=scratch)
+    scratch.sum(axis=1, out=out)

@@ -1,0 +1,142 @@
+"""Inference plans: flat kernel programs with a reusable buffer arena.
+
+An :class:`InferencePlan` is what :func:`repro.infer.compiler.compile_model`
+produces from a model's forward pass: a **topologically ordered, flat list of
+fused kernel steps** operating on raw ``np.ndarray``s.  There is no graph
+walk, no operator dispatch, and no autodiff bookkeeping at execution time —
+each step is a plain Python callable closed over packed weights.
+
+All intermediate storage is leased from a :class:`BufferArena`: a dictionary
+keyed by ``(step, slot, shape)`` whose buffers are allocated on first use and
+reused verbatim on every later call with the same shapes.  Serving traffic
+re-scores the same batch geometry over and over (``candidates_per_query``
+rows per session, micro-batches of the configured flush size), so after a
+one-call warmup the plan executes with **zero array allocations** — the
+arena's hit/miss counters make that measurable (``tests/infer/test_plan.py``
+asserts it).
+
+Thread-safety: a plan owns mutable buffers, so one plan must not be executed
+concurrently from multiple threads — give each worker its own compiled plan
+(:class:`~repro.serving.cluster.ShardedCluster` compiles per shard), exactly
+as each training process owns its own activations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["BufferArena", "PlanStep", "InferencePlan"]
+
+
+class BufferArena:
+    """Shape-keyed pool of preallocated scratch buffers.
+
+    ``lease(step, slot, shape)`` returns a contiguous ``np.empty`` buffer of
+    the plan dtype, cached under ``(step, slot, shape)``.  Buffer contents
+    are *not* zeroed between calls — every kernel fully overwrites its
+    output, which the parity tests verify by running the same plan twice.
+    """
+
+    __slots__ = ("dtype", "_buffers", "hits", "misses")
+
+    def __init__(self, dtype: np.dtype = np.float32) -> None:
+        self.dtype = np.dtype(dtype)
+        self._buffers: Dict[Tuple, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lease(
+        self, step: str, slot: str, shape: Tuple[int, ...], dtype: Optional[np.dtype] = None
+    ) -> np.ndarray:
+        wanted = self.dtype if dtype is None else np.dtype(dtype)
+        key = (step, slot, shape, wanted)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=wanted)
+            self._buffers[key] = buf
+            self.misses += 1
+        else:
+            self.hits += 1
+        return buf
+
+    def binder(self, step: str, dtype: Optional[np.dtype] = None) -> Callable:
+        """A ``lease(slot, shape)`` closure pinned to one step name."""
+        return lambda slot, shape: self.lease(step, slot, shape, dtype=dtype)
+
+    @property
+    def num_buffers(self) -> int:
+        return len(self._buffers)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the arena (the plan's whole working set)."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One fused kernel in the flat program.
+
+    ``fn(ctx)`` reads earlier results from the ``ctx`` dict (plus the bound
+    batch under ``ctx["batch"]``) and writes its own outputs back into it;
+    ``reads``/``writes`` document dataflow for introspection and tests.
+    """
+
+    name: str
+    kind: str
+    fn: Callable[[dict], None]
+    reads: Tuple[str, ...] = ()
+    writes: Tuple[str, ...] = ()
+
+    def __repr__(self) -> str:  # keep plan dumps compact
+        return f"PlanStep({self.name!r}, {self.kind})"
+
+
+@dataclass
+class InferencePlan:
+    """A compiled forward pass: ordered steps + the arena they execute in."""
+
+    name: str
+    steps: List[PlanStep]
+    output: str
+    arena: BufferArena
+    #: Batch keys the plan reads; binding validates they are present.
+    inputs: Tuple[str, ...] = ()
+    calls: int = 0
+    _ctx: dict = field(default_factory=dict, repr=False)
+
+    def run(self, batch: Dict[str, np.ndarray], **bound) -> np.ndarray:
+        """Execute every step and return the output buffer.
+
+        The returned array is **owned by the arena** and is only valid until
+        the next ``run`` on this plan — serving consumes it immediately;
+        API-level callers go through :meth:`repro.infer.compiler.
+        CompiledModel.predict_proba`, which copies.  ``bound`` injects extra
+        ctx entries (e.g. a precomputed ``gate`` matrix).
+        """
+        missing = [key for key in self.inputs if key not in batch]
+        if missing:
+            raise KeyError(f"plan {self.name!r} missing batch inputs {missing}")
+        ctx = self._ctx
+        ctx.clear()
+        ctx["batch"] = batch
+        ctx.update(bound)
+        for step in self.steps:
+            step.fn(ctx)
+        self.calls += 1
+        return ctx[self.output]
+
+    def describe(self) -> List[str]:
+        """Human-readable program listing (used by tests and ``__repr__``)."""
+        return [f"{step.kind:<10} {step.name}" for step in self.steps]
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)

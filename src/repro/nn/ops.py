@@ -12,7 +12,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.nn.tensor import Tensor, _unbroadcast
+from repro.nn.tensor import Tensor, _unbroadcast, is_grad_enabled
 
 __all__ = [
     "concat",
@@ -34,6 +34,8 @@ def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     if not tensors:
         raise ValueError("concat() requires at least one tensor")
     data = np.concatenate([t.data for t in tensors], axis=axis)
+    if not is_grad_enabled():
+        return Tensor._from_data(data)
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -52,6 +54,8 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     if not tensors:
         raise ValueError("stack() requires at least one tensor")
     data = np.stack([t.data for t in tensors], axis=axis)
+    if not is_grad_enabled():
+        return Tensor._from_data(data)
 
     def backward(grad: np.ndarray) -> None:
         moved = np.moveaxis(grad, axis, 0)
@@ -69,6 +73,8 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     """
     condition = np.asarray(condition, dtype=bool)
     data = np.where(condition, a.data, b.data)
+    if not is_grad_enabled():
+        return Tensor._from_data(data)
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
@@ -99,6 +105,8 @@ def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
     if not np.issubdtype(indices.dtype, np.integer):
         raise TypeError(f"embedding indices must be integers, got {indices.dtype}")
     data = weight.data[indices]
+    if not is_grad_enabled():
+        return Tensor._from_data(data)
 
     def backward(grad: np.ndarray) -> None:
         if weight.requires_grad:
@@ -113,6 +121,8 @@ def take(tensor: Tensor, indices: np.ndarray, axis: int = 0) -> Tensor:
     """Differentiable ``np.take`` along ``axis`` with integer ``indices``."""
     indices = np.asarray(indices)
     data = np.take(tensor.data, indices, axis=axis)
+    if not is_grad_enabled():
+        return Tensor._from_data(data)
 
     def backward(grad: np.ndarray) -> None:
         if tensor.requires_grad:
@@ -134,9 +144,11 @@ def logsumexp(tensor: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
     shifted = np.exp(x - m)
     total = shifted.sum(axis=axis, keepdims=True)
     data = (np.log(total) + m)
-    softmax_vals = shifted / total
     if not keepdims:
         data = np.squeeze(data, axis=axis)
+    if not is_grad_enabled():
+        return Tensor._from_data(data)
+    softmax_vals = shifted / total
 
     def backward(grad: np.ndarray) -> None:
         if tensor.requires_grad:
@@ -151,6 +163,8 @@ def softmax(tensor: Tensor, axis: int = -1) -> Tensor:
     x = tensor.data
     shifted = np.exp(x - x.max(axis=axis, keepdims=True))
     data = shifted / shifted.sum(axis=axis, keepdims=True)
+    if not is_grad_enabled():
+        return Tensor._from_data(data)
 
     def backward(grad: np.ndarray) -> None:
         if tensor.requires_grad:
@@ -167,6 +181,8 @@ def log_softmax(tensor: Tensor, axis: int = -1) -> Tensor:
     shifted = x - m
     lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     data = shifted - lse
+    if not is_grad_enabled():
+        return Tensor._from_data(data)
     softmax_vals = np.exp(data)
 
     def backward(grad: np.ndarray) -> None:
@@ -181,6 +197,8 @@ def masked_fill(tensor: Tensor, mask: np.ndarray, value: float) -> Tensor:
     """Replace entries where ``mask`` is true with ``value`` (no grad there)."""
     mask = np.asarray(mask, dtype=bool)
     data = np.where(mask, np.asarray(value, dtype=tensor.data.dtype), tensor.data)
+    if not is_grad_enabled():
+        return Tensor._from_data(data)
 
     def backward(grad: np.ndarray) -> None:
         if tensor.requires_grad:

@@ -18,6 +18,13 @@ Design notes
   explicit.
 * Broadcasting follows NumPy semantics; gradients of broadcast operands are
   reduced back to the operand shape by :func:`_unbroadcast`.
+* **Inference fast path**: when gradients are globally disabled
+  (:func:`no_grad`), every op returns a bare graph-free tensor *before* its
+  backward closure is even constructed — eager inference pays for the NumPy
+  math only, never for graph bookkeeping.  The compiled serving path
+  (:mod:`repro.infer`) goes further and drops the :class:`Tensor` wrapper
+  entirely; :meth:`Tensor.detach_numpy` is the documented bridge between the
+  two worlds.
 """
 
 from __future__ import annotations
@@ -42,6 +49,9 @@ def no_grad():
 
         with no_grad():
             scores = model(batch)
+
+    Inside the context every op takes the allocation-light fast path: no
+    backward closures are constructed and no parent edges are wired.
     """
     global _GRAD_ENABLED
     previous = _GRAD_ENABLED
@@ -130,19 +140,32 @@ class Tensor:
         """Return the underlying array (not a copy)."""
         return self.data
 
+    def detach_numpy(self) -> np.ndarray:
+        """The raw forward values, cut from the graph — **the** fast path.
+
+        Contract (relied upon by :mod:`repro.infer` and the serving stack):
+
+        * returns the underlying ``np.ndarray`` *without copying*;
+        * the result carries no autograd state, so callers may hold it across
+          training steps without retaining graph memory;
+        * callers must treat the array as **read-only** — it is the same
+          storage the forward pass produced, so writes would corrupt any
+          other consumer of this tensor (and, for :class:`~repro.nn.module.
+          Parameter`, the model weights themselves).
+
+        Use this instead of reaching into ``.data`` from code outside
+        :mod:`repro.nn`; ``.data`` is an implementation detail of the
+        autograd core, ``detach_numpy()`` is the public contract.
+        """
+        return self.data
+
     def item(self) -> float:
         """Return the value of a single-element tensor as a Python float."""
         return float(self.data.reshape(-1)[0]) if self.data.size == 1 else _raise_item(self)
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut from the graph."""
-        out = Tensor.__new__(Tensor)
-        out.data = self.data
-        out.grad = None
-        out.requires_grad = False
-        out._backward = None
-        out._parents = ()
-        return out
+        return Tensor._from_data(self.data)
 
     def copy(self) -> "Tensor":
         """Return a detached deep copy of this tensor."""
@@ -151,6 +174,17 @@ class Tensor:
     # ------------------------------------------------------------------
     # graph construction / backprop
     # ------------------------------------------------------------------
+    @staticmethod
+    def _from_data(data: np.ndarray) -> "Tensor":
+        """Bare graph-free tensor around ``data`` (inference fast path)."""
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.grad = None
+        out.requires_grad = False
+        out._backward = None
+        out._parents = ()
+        return out
+
     @staticmethod
     def _make(
         data: np.ndarray,
@@ -227,6 +261,8 @@ class Tensor:
     # elementwise arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other: Arrayish) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(self.data + _raw_as(other, self.data.dtype))
         other = _wrap(other, self.data.dtype)
         data = self.data + other.data
 
@@ -242,6 +278,8 @@ class Tensor:
         return self.__add__(other)
 
     def __sub__(self, other: Arrayish) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(self.data - _raw_as(other, self.data.dtype))
         other = _wrap(other, self.data.dtype)
         data = self.data - other.data
 
@@ -254,9 +292,13 @@ class Tensor:
         return Tensor._make(data, (self, other), backward)
 
     def __rsub__(self, other: Arrayish) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(_raw_as(other, self.data.dtype) - self.data)
         return _wrap(other, self.data.dtype).__sub__(self)
 
     def __mul__(self, other: Arrayish) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(self.data * _raw_as(other, self.data.dtype))
         other = _wrap(other, self.data.dtype)
         data = self.data * other.data
 
@@ -272,6 +314,8 @@ class Tensor:
         return self.__mul__(other)
 
     def __truediv__(self, other: Arrayish) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(self.data / _raw_as(other, self.data.dtype))
         other = _wrap(other, self.data.dtype)
         data = self.data / other.data
 
@@ -286,9 +330,13 @@ class Tensor:
         return Tensor._make(data, (self, other), backward)
 
     def __rtruediv__(self, other: Arrayish) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(_raw_as(other, self.data.dtype) / self.data)
         return _wrap(other, self.data.dtype).__truediv__(self)
 
     def __neg__(self) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(-self.data)
         data = -self.data
 
         def backward(grad: np.ndarray) -> None:
@@ -300,6 +348,8 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(self.data ** exponent)
         data = self.data ** exponent
 
         def backward(grad: np.ndarray) -> None:
@@ -328,6 +378,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         data = np.exp(self.data)
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -336,6 +388,8 @@ class Tensor:
         return Tensor._make(data, (self,), backward)
 
     def log(self) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(np.log(self.data))
         data = np.log(self.data)
 
         def backward(grad: np.ndarray) -> None:
@@ -346,6 +400,8 @@ class Tensor:
 
     def sqrt(self) -> "Tensor":
         data = np.sqrt(self.data)
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -354,6 +410,8 @@ class Tensor:
         return Tensor._make(data, (self,), backward)
 
     def abs(self) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(np.abs(self.data))
         data = np.abs(self.data)
 
         def backward(grad: np.ndarray) -> None:
@@ -363,6 +421,8 @@ class Tensor:
         return Tensor._make(data, (self,), backward)
 
     def relu(self) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(np.maximum(self.data, 0))
         data = np.maximum(self.data, 0)
 
         def backward(grad: np.ndarray) -> None:
@@ -372,6 +432,10 @@ class Tensor:
         return Tensor._make(data, (self,), backward)
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(
+                np.where(self.data > 0, self.data, negative_slope * self.data)
+            )
         data = np.where(self.data > 0, self.data, negative_slope * self.data)
 
         def backward(grad: np.ndarray) -> None:
@@ -389,6 +453,8 @@ class Tensor:
         data[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
         ex = np.exp(x[~pos])
         data[~pos] = ex / (1.0 + ex)
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -398,6 +464,8 @@ class Tensor:
 
     def tanh(self) -> "Tensor":
         data = np.tanh(self.data)
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -407,6 +475,8 @@ class Tensor:
 
     def clip(self, low: float, high: float) -> "Tensor":
         """Clamp values to ``[low, high]``; gradient flows inside the range."""
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(np.clip(self.data, low, high))
         data = np.clip(self.data, low, high)
 
         def backward(grad: np.ndarray) -> None:
@@ -420,6 +490,8 @@ class Tensor:
     # reductions
     # ------------------------------------------------------------------
     def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(self.data.sum(axis=axis, keepdims=keepdims))
         data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray) -> None:
@@ -438,6 +510,8 @@ class Tensor:
 
     def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
         data = self.data.max(axis=axis, keepdims=keepdims)
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(data)
 
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
@@ -460,9 +534,11 @@ class Tensor:
     # linear algebra
     # ------------------------------------------------------------------
     def matmul(self, other: "Tensor") -> "Tensor":
-        other = _wrap(other, self.data.dtype)
-        if self.ndim < 2 or other.ndim < 2:
+        if self.ndim < 2 or (other.ndim if isinstance(other, Tensor) else np.ndim(other)) < 2:
             raise ValueError("matmul requires both operands to have ndim >= 2")
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(self.data @ _raw_as(other, self.data.dtype))
+        other = _wrap(other, self.data.dtype)
         data = self.data @ other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -484,6 +560,8 @@ class Tensor:
     def reshape(self, *shape: int) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(self.data.reshape(shape))
         original = self.shape
         data = self.data.reshape(shape)
 
@@ -498,6 +576,8 @@ class Tensor:
             axes = tuple(reversed(range(self.ndim)))
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(self.data.transpose(axes))
         data = self.data.transpose(axes)
         inverse = np.argsort(axes)
 
@@ -513,6 +593,8 @@ class Tensor:
         return self.transpose(*axes)
 
     def expand_dims(self, axis: int) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(np.expand_dims(self.data, axis=axis))
         data = np.expand_dims(self.data, axis=axis)
 
         def backward(grad: np.ndarray) -> None:
@@ -522,6 +604,8 @@ class Tensor:
         return Tensor._make(data, (self,), backward)
 
     def squeeze(self, axis: int) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(np.squeeze(self.data, axis=axis))
         data = np.squeeze(self.data, axis=axis)
 
         def backward(grad: np.ndarray) -> None:
@@ -532,6 +616,8 @@ class Tensor:
 
     def broadcast_to(self, shape: Tuple[int, ...]) -> "Tensor":
         """Broadcast to ``shape``; the gradient sums over broadcast axes."""
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(np.ascontiguousarray(np.broadcast_to(self.data, shape)))
         original = self.shape
         data = np.ascontiguousarray(np.broadcast_to(self.data, shape))
 
@@ -542,6 +628,8 @@ class Tensor:
         return Tensor._make(data, (self,), backward)
 
     def __getitem__(self, index) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor._from_data(self.data[index])
         data = self.data[index]
 
         def backward(grad: np.ndarray) -> None:
@@ -561,6 +649,12 @@ def _wrap(value: Arrayish, dtype: np.dtype) -> Tensor:
 
 def _raw(value: Arrayish) -> np.ndarray:
     return value.data if isinstance(value, Tensor) else np.asarray(value)
+
+
+def _raw_as(value: Arrayish, dtype: np.dtype) -> np.ndarray:
+    """Operand data exactly as :func:`_wrap` would expose it, minus the
+    Tensor shell — the inference fast path's way to read the other operand."""
+    return value.data if isinstance(value, Tensor) else np.asarray(value, dtype=dtype)
 
 
 def _axis_size(shape: Tuple[int, ...], axis: Union[int, Tuple[int, ...]]) -> int:

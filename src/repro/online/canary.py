@@ -8,6 +8,12 @@ same sessions*.  Promotion requires every gated metric to be no worse than
 production minus a small tolerance; a corrupted or diverged candidate (the
 online loop's worst failure mode: silently degrading the ranker with noisy
 click feedback) is rejected and production keeps serving.
+
+The replay scores through the **compiled inference path** (:mod:`repro.
+infer`) — the same plan the fleet will execute after promotion — so the
+canary gates what production actually serves, compilation included; a bug
+in a model's compiled plan is caught here, before the swap.  Models with no
+registered compiler replay eagerly, matching their serving fallback.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from repro.data.dataset import RankingDataset
 from repro.eval.auc import session_auc
 from repro.eval.evaluator import predict_scores
 from repro.eval.ndcg import session_ndcg
+from repro.infer import CompileError, compile_model
 
 __all__ = ["CanaryReport", "CanaryGate"]
 
@@ -52,6 +59,10 @@ class CanaryGate:
         small holdout windows.
     metrics:
         Which session metrics gate promotion (subset of ``auc``/``ndcg``).
+    use_compiled:
+        Replay through the compiled inference plan (default) — the path the
+        fleet serves — falling back to eager for uncompilable models.
+        ``False`` forces the eager forward (used by parity tests).
     """
 
     _METRIC_FNS = {"auc": session_auc, "ndcg": session_ndcg}
@@ -60,6 +71,7 @@ class CanaryGate:
         self,
         tolerance: float = 0.005,
         metrics: Sequence[str] = ("auc", "ndcg"),
+        use_compiled: bool = True,
     ) -> None:
         if tolerance < 0:
             raise ValueError(f"tolerance must be >= 0, got {tolerance}")
@@ -70,10 +82,28 @@ class CanaryGate:
             raise ValueError("at least one gated metric is required")
         self.tolerance = float(tolerance)
         self.metrics = tuple(metrics)
+        self.use_compiled = bool(use_compiled)
+
+    def _scorer(self, model: RankingModel):
+        """The object whose ``predict_proba`` the replay runs — the compiled
+        plan when enabled and available, the eager model otherwise.
+
+        Deliberately compiles fresh on every call instead of memoizing per
+        model object: the incremental trainer may update a model's weights
+        in place between refresh cycles, and a cached plan (a weight
+        *snapshot*) would silently replay stale weights.  Packing is
+        sub-millisecond at this scale; staleness is a wrong promotion.
+        """
+        if self.use_compiled:
+            try:
+                return compile_model(model)
+            except CompileError:
+                pass
+        return model
 
     def evaluate(self, model: RankingModel, holdout: RankingDataset) -> Dict[str, float]:
         """The gated session metrics of ``model`` on ``holdout``."""
-        scores = predict_scores(model, holdout)
+        scores = predict_scores(self._scorer(model), holdout)
         return {
             name: self._METRIC_FNS[name](scores, holdout.label, holdout.session_id)
             for name in self.metrics

@@ -24,10 +24,16 @@ high-throughput subsystem::
 * :mod:`~repro.serving.cost` / :mod:`~repro.serving.ab_test` — the paper's
   FLOP cost model and simulated online A/B test.
 
+Scoring executes through the compiled inference path (:mod:`repro.infer`)
+by default: engines compile models into flat fused-kernel plans at
+construction and on every hot swap; models with no registered compiler
+serve through the eager forward.
+
 The stack is hot-swappable: :meth:`ShardedCluster.swap_model` drains each
-shard between micro-batches, switches the model, and invalidates the gate
-cache (generation-tagged), which is how the online learning loop
-(:mod:`repro.online`) deploys refreshed versions with zero downtime.
+shard between micro-batches, recompiles and switches the model+plan, and
+invalidates the gate cache (generation-tagged), which is how the online
+learning loop (:mod:`repro.online`) deploys refreshed versions with zero
+downtime.
 """
 
 from repro.serving.ab_test import ABTestResult, run_ab_test

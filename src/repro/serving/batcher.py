@@ -237,7 +237,9 @@ class MicroBatcher:
         gate_batch: Batch = {
             key: np.concatenate([q.batch[key][:1] for q in missing], axis=0) for key in keys
         }
-        gates = self.engine.model.serving_gate(gate_batch)  # (len(missing), K)
+        # Resolved through the engine so the compiled gate plan (when one
+        # exists) serves the cache, not the eager gate network.
+        gates = self.engine.serving_gate(gate_batch)  # (len(missing), K)
         for q, gate in zip(missing, gates):
             q.gate = gate
             if self.cache is not None:

@@ -71,6 +71,7 @@ class ShardedCluster:
         cache_capacity: int = 512,
         candidates_per_query: Optional[int] = None,
         clock: Callable[[], float] = time.perf_counter,
+        compile: bool = True,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -87,6 +88,7 @@ class ShardedCluster:
                 model,
                 bank.child(f"shard-{shard_id}"),
                 candidates_per_query=candidates_per_query,
+                compile=compile,
             )
             cache = SessionCache(cache_capacity)
             metrics = MetricsSink(clock=clock)
@@ -144,16 +146,26 @@ class ShardedCluster:
         """The version currently serving (identical across shards)."""
         return self.workers[0].engine.model_version
 
+    @property
+    def compile_enabled(self) -> bool:
+        """Whether shards compile inference plans (identical across shards)."""
+        return self.workers[0].engine.compile_enabled
+
     def swap_model(self, model: RankingModel, version: Optional[str] = None) -> List[RankedList]:
         """Hot-swap every shard to ``model`` with zero dropped queries.
 
         Per shard, in order: (1) force-flush the micro-batcher so every
-        pending query is scored by the *old* model — a flush is one model
-        forward, so no batch can mix versions; (2) switch the engine's
-        model; (3) invalidate the session cache's gate vectors and bump its
-        generation, so no gate computed by the old model can ever be applied
-        under the new one (the batcher additionally re-resolves any gate
-        whose generation went stale between submit and flush).
+        pending query is scored by the *old* model's plan — a flush is one
+        plan execution, so no batch can mix versions or run a stale plan;
+        (2) recompile and switch the engine's model+plan together
+        (:meth:`SearchEngine.set_model` assigns them atomically); (3)
+        invalidate the session cache's gate vectors and bump its generation,
+        so no gate computed by the old plan can ever be applied under the
+        new one (the batcher additionally re-resolves any gate whose
+        generation went stale between submit and flush).
+
+        Each shard compiles its own plan: plans own mutable scratch buffers,
+        so they are per-worker state exactly like caches and RNG streams.
 
         Returns the drained results (old-version rankings), which callers
         serving live traffic should still deliver.

@@ -16,11 +16,18 @@ The engine exposes two scoring paths:
   (and cached across sessions by :mod:`repro.serving.cache`), while the
   input network and experts run per candidate, matching the deployed design
   of §III-F1.
+
+Both paths execute through the **compiled inference plan**
+(:mod:`repro.infer`) by default — the training autodiff never runs in the
+hot path.  Models with no registered compiler (the DNN/DIN/Category-MoE
+baselines) fall back to the eager ``Tensor`` forward transparently, and
+``compile=False`` forces the eager path for benchmarks.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -34,6 +41,7 @@ from repro.data.features import (
 )
 from repro.data.schema import Batch
 from repro.data.synthetic import World
+from repro.infer import CompiledModel, CompileError, compile_model
 
 __all__ = ["RankedList", "SearchEngine"]
 
@@ -63,10 +71,9 @@ class SearchEngine:
         rng: np.random.Generator,
         candidates_per_query: Optional[int] = None,
         model_version: Optional[str] = None,
+        compile: bool = True,
     ) -> None:
         self.world = world
-        self.model = model
-        self.model_version = model_version
         self._rng = rng
         self.candidates_per_query = candidates_per_query or world.config.items_per_session
         self._by_category = [
@@ -75,20 +82,39 @@ class SearchEngine:
         ]
         self.queries_served = 0
         self.total_latency_ms = 0.0
+        self.compile_enabled = bool(compile)
+        # set_model assigns self.model / self.compiled_model / self.model_version.
+        self.set_model(model, model_version)
 
     # ------------------------------------------------------------------
     # model lifecycle
     # ------------------------------------------------------------------
     def set_model(self, model: RankingModel, version: Optional[str] = None) -> None:
-        """Atomically switch the serving model (online-loop hot swap).
+        """Switch the serving model, recompiling its inference plan.
 
-        The assignment itself is atomic; callers that batch queries must
-        drain pending work first so no flush mixes versions, and must
-        invalidate any cache holding gate vectors from the old model —
-        :meth:`repro.serving.cluster.ShardedCluster.swap_model` does both.
+        Compilation happens *before* anything is swapped, then model, plan,
+        and version are assigned together — a query scored after this call
+        can never see the new model with the old plan (or vice versa).
+        Callers that batch queries must drain pending work first so no flush
+        mixes versions, and must invalidate any cache holding gate vectors
+        from the old model — :meth:`repro.serving.cluster.ShardedCluster.
+        swap_model` does both.  Models with no registered compiler serve
+        through the eager forward.
         """
+        compiled: Optional[CompiledModel] = None
+        if self.compile_enabled:
+            try:
+                compiled = compile_model(model)
+            except CompileError:
+                compiled = None
         self.model = model
+        self.compiled_model = compiled
         self.model_version = version
+
+    @property
+    def is_compiled(self) -> bool:
+        """Whether scoring runs through a compiled plan (vs eager fallback)."""
+        return self.compiled_model is not None
 
     # ------------------------------------------------------------------
     # pipeline stages
@@ -139,19 +165,36 @@ class SearchEngine:
         ``gate`` is an optional precomputed gate matrix ``(B, K)`` (or a
         single ``(K,)`` session vector, broadcast to all rows); models that
         support gate overrides skip the gate network entirely — the §III-F1
-        serving optimization.
+        serving optimization.  Scoring executes the compiled plan when one
+        exists; eager otherwise.
         """
         if gate is not None and self.supports_session_gate:
             gate = np.asarray(gate, dtype=np.float32)
             if gate.ndim == 1:
                 gate = np.tile(gate, (int(batch["label"].shape[0]), 1))
+            if self.compiled_model is not None:
+                return self.compiled_model.predict_proba(batch, gate_override=gate)
             return self.model.predict_proba(batch, gate_override=gate)
+        if self.compiled_model is not None:
+            return self.compiled_model.predict_proba(batch)
         return self.model.predict_proba(batch)
 
     @property
     def supports_session_gate(self) -> bool:
         """Whether the model's gate can be computed once per session."""
         return bool(getattr(self.model, "gate_is_candidate_independent", False))
+
+    def serving_gate(self, batch: Batch) -> np.ndarray:
+        """Cache-ready gate matrix for every row of ``batch``.
+
+        Runs the compiled **gate plan** (the candidate-independent subgraph
+        split out at compile time) when available, so the micro-batcher's
+        batched gate resolution and the session cache are fed by the same
+        compiled path that scores candidates.
+        """
+        if self.compiled_model is not None:
+            return self.compiled_model.serving_gate(batch)
+        return self.model.serving_gate(batch)
 
     def session_gate(self, batch: Batch) -> Optional[np.ndarray]:
         """The session's gate vector ``g`` (shape ``(K,)``), or ``None``.
@@ -163,7 +206,7 @@ class SearchEngine:
         if not self.supports_session_gate:
             return None
         row = {key: value[:1] for key, value in batch.items()}
-        return self.model.serving_gate(row)[0]
+        return self.serving_gate(row)[0]
 
     def search(self, user: int, query_category: int) -> RankedList:
         """Serve one query end to end and record latency."""
@@ -205,5 +248,15 @@ class SearchEngine:
 
     @property
     def mean_latency_ms(self) -> float:
-        """Alias of :attr:`avg_latency_ms` (historical name)."""
+        """Deprecated alias of :attr:`avg_latency_ms`.
+
+        The two names accumulated independently-documented copies of the
+        same quantity; :attr:`avg_latency_ms` is canonical.  This alias
+        warns and will be removed.
+        """
+        warnings.warn(
+            "SearchEngine.mean_latency_ms is deprecated; use avg_latency_ms",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.avg_latency_ms

@@ -80,16 +80,18 @@ class TestSearchEngine:
         engine.search(1, 0)
         engine.search(2, 1)
         assert engine.queries_served == 2
-        assert engine.mean_latency_ms > 0
+        assert engine.avg_latency_ms > 0
 
-    def test_mean_latency_zero_before_queries(self, unit_world, test_set):
+    def test_avg_latency_zero_before_queries(self, unit_world, test_set):
         model = build_model("dnn", ModelConfig.unit(), test_set.meta, np.random.default_rng(0))
         engine = SearchEngine(unit_world, model, np.random.default_rng(1))
-        assert engine.mean_latency_ms == 0.0
+        assert engine.avg_latency_ms == 0.0
 
-    def test_avg_latency_alias(self, engine):
+    def test_mean_latency_deprecated_alias(self, engine):
         engine.search(1, 0)
-        assert engine.avg_latency_ms == engine.mean_latency_ms
+        with pytest.warns(DeprecationWarning, match="avg_latency_ms"):
+            legacy = engine.mean_latency_ms
+        assert legacy == engine.avg_latency_ms
         assert engine.avg_latency_ms > 0
 
     def test_reset_stats(self, engine):

@@ -1,0 +1,59 @@
+"""The benchmark regression guard warns — never fails — on QPS regressions."""
+
+import json
+import sys
+import warnings
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+from _helpers import BenchmarkRegressionWarning, compare_to_artifact  # noqa: E402
+
+
+@pytest.fixture()
+def reference(tmp_path):
+    path = tmp_path / "compiled_inference.json"
+    path.write_text(
+        json.dumps({"single_query": {"speedup": 3.0}, "fleet": {"qps_improvement": 1.5}})
+    )
+    return path
+
+
+KEYS = [("single_query", "speedup"), ("fleet", "qps_improvement")]
+
+
+class TestCompareToArtifact:
+    def test_warns_on_regression_beyond_tolerance(self, reference):
+        report = {"single_query": {"speedup": 2.0}, "fleet": {"qps_improvement": 1.6}}
+        with pytest.warns(BenchmarkRegressionWarning, match="single_query.speedup"):
+            messages = compare_to_artifact(report, reference, KEYS, tolerance=0.2)
+        assert len(messages) == 1  # fleet improved, only the speedup warns
+
+    def test_silent_within_tolerance(self, reference):
+        report = {"single_query": {"speedup": 2.7}, "fleet": {"qps_improvement": 1.3}}
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert compare_to_artifact(report, reference, KEYS, tolerance=0.2) == []
+
+    def test_missing_reference_is_silent(self, tmp_path):
+        report = {"single_query": {"speedup": 0.1}}
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert compare_to_artifact(report, tmp_path / "nope.json", KEYS) == []
+
+    def test_missing_keys_are_skipped(self, reference):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert compare_to_artifact({}, reference, KEYS) == []
+
+    def test_never_raises_only_warns(self, reference):
+        """A regression emits a warning, not an exception — red builds are
+        reserved for correctness, not machine-dependent timings."""
+        report = {"single_query": {"speedup": 0.01}, "fleet": {"qps_improvement": 0.01}}
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            messages = compare_to_artifact(report, reference, KEYS)
+        assert len(messages) == 2
+        assert all(issubclass(w.category, BenchmarkRegressionWarning) for w in caught)

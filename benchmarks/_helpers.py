@@ -1,9 +1,10 @@
 """Shared helpers for the benchmarks: table building and artifact guards."""
 
 import json
+import os
 import warnings
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -14,8 +15,20 @@ from repro.eval.evaluator import predict_scores
 from repro.eval.ndcg import session_ndcg
 from repro.utils import format_float, print_table
 
+
 class BenchmarkRegressionWarning(UserWarning):
     """A benchmark metric regressed versus the checked-in reference artifact."""
+
+
+class BenchmarkRegressionError(AssertionError):
+    """A benchmark metric regressed past the hard gate — the build is red.
+
+    Raised by :func:`compare_to_artifact` when a metric falls more than
+    ``fail_tolerance`` below the checked-in reference.  Set
+    ``REPRO_ALLOW_REGRESSION=1`` to demote the failure to a warning (e.g. a
+    PR that knowingly trades throughput for a feature — land it, then
+    refresh ``benchmarks/reference/`` in the same PR).
+    """
 
 
 def _dig(report: Dict, key_path: Sequence[str]):
@@ -32,35 +45,59 @@ def compare_to_artifact(
     reference_path: Path,
     key_paths: Sequence[Sequence[str]],
     tolerance: float = 0.2,
+    fail_tolerance: float = 0.3,
 ) -> List[str]:
-    """Warn — never fail — when a metric regresses beyond ``tolerance``.
+    """Benchmark-regression gate against the checked-in reference artifact.
 
-    Compares higher-is-better metrics (QPS, speedups) at each ``key_path``
-    in ``report`` against the reference artifact checked in at
-    ``reference_path``.  Timing benchmarks are machine-dependent, so a
-    regression is a *signal to investigate*, not a red build: a
-    :class:`BenchmarkRegressionWarning` is emitted per regressed metric and
-    the list of messages is returned (empty when clean or when no reference
-    exists yet).
+    Compares higher-is-better metrics (QPS, steps/sec, speedup ratios) at
+    each ``key_path`` in ``report`` against the reference artifact at
+    ``reference_path``:
+
+    * a drop beyond ``tolerance`` emits a :class:`BenchmarkRegressionWarning`
+      — a signal to investigate;
+    * a drop beyond ``fail_tolerance`` raises
+      :class:`BenchmarkRegressionError` — a red build.  The gated key paths
+      should therefore be machine-portable *ratios* (speedup vs an eager
+      baseline measured in the same run), not raw wall-clock numbers.
+
+    ``REPRO_ALLOW_REGRESSION=1`` is the escape hatch: hard failures demote
+    to warnings so a deliberate regression can land together with a
+    refreshed reference artifact.  Returns the list of emitted messages
+    (empty when clean or when no reference exists yet).
     """
     if not reference_path.exists():
         return []
+    allow = os.environ.get("REPRO_ALLOW_REGRESSION", "") == "1"
     reference = json.loads(reference_path.read_text())
     messages: List[str] = []
+    failures: List[str] = []
     for key_path in key_paths:
         current = _dig(report, key_path)
         baseline = _dig(reference, key_path)
         if not isinstance(current, (int, float)) or not isinstance(baseline, (int, float)):
-            continue  # warn-never-fail: a partial key path must not raise
+            continue  # a partial key path is a stale reference, not a crash
         if baseline <= 0:
             continue
-        if current < baseline * (1.0 - tolerance):
-            message = (
-                f"{'.'.join(key_path)} regressed {(1 - current / baseline):.0%} "
-                f"vs reference ({current:.2f} < {baseline:.2f} - {tolerance:.0%})"
-            )
-            messages.append(message)
+        # The two thresholds act independently, so a fail_tolerance tighter
+        # than the warn tolerance still gates.
+        drop = 1.0 - current / baseline
+        if drop <= min(tolerance, fail_tolerance):
+            continue
+        message = (
+            f"{'.'.join(key_path)} regressed {drop:.0%} "
+            f"vs reference ({current:.2f} < {baseline:.2f} - {tolerance:.0%})"
+        )
+        messages.append(message)
+        if drop > fail_tolerance and not allow:
+            failures.append(message)
+        else:
             warnings.warn(message, BenchmarkRegressionWarning, stacklevel=2)
+    if failures:
+        raise BenchmarkRegressionError(
+            "benchmark regression beyond the hard gate "
+            f"(>{fail_tolerance:.0%}; REPRO_ALLOW_REGRESSION=1 to override):\n  "
+            + "\n  ".join(failures)
+        )
     return messages
 
 

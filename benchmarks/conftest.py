@@ -16,7 +16,6 @@ Protocol notes (documented in EXPERIMENTS.md):
   ordering of models, sign of deltas, and locations of optima.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import ModelConfig, TrainConfig, build_model, train_model
@@ -34,7 +33,16 @@ MODEL_ROWS = ["dnn", "din", "category_moe", "aw_moe", "aw_moe_cl"]
 
 
 def bench_train_config() -> TrainConfig:
-    return TrainConfig(epochs=2, batch_size=256, learning_rate=1.5e-3)
+    # The paper-table benchmarks train through the eager reference path:
+    # their pass thresholds (AUC orderings, p-values, cluster purities) were
+    # calibrated on its exact float trajectory, and several sit close enough
+    # to the line that any reordering of float additions flips them.  The
+    # fast path optimizes the same objective (parity-tested in
+    # tests/core/test_fast_training.py, throughput-tested in
+    # benchmarks/test_training_throughput.py) but follows a different
+    # rounding trajectory, which is noise these quality benchmarks must not
+    # measure.
+    return TrainConfig(epochs=2, batch_size=256, learning_rate=1.5e-3, fast_path=False)
 
 
 @pytest.fixture(scope="session")

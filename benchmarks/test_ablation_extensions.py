@@ -7,7 +7,6 @@ benchmark protocol.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import AWMoE, ModelConfig, build_model, train_model
 from repro.core.extensions import SparseGatedAWMoE, expert_correlation_loss, train_adversarial_aw_moe

@@ -8,7 +8,6 @@ long-tail split and asserts the robust part of the shape: the extreme-masking
 end of the p-sweep must not win, and every setting stays in a sane band.
 """
 
-import numpy as np
 
 from repro.core import ModelConfig, build_model, train_model
 from repro.eval import predict_scores
@@ -39,8 +38,10 @@ def test_fig8_contrastive_hyperparameters(benchmark, search_data, search_splits)
         sweeps = {"p": {}, "l": {}, "lambda": {}}
         for p in P_VALUES:
             sweeps["p"][p] = _train_and_score(train, split, bank, f"p{p}", mask_prob=p)
-        for l in L_VALUES:
-            sweeps["l"][l] = _train_and_score(train, split, bank, f"l{l}", num_negatives=l)
+        for num_negatives in L_VALUES:
+            sweeps["l"][num_negatives] = _train_and_score(
+                train, split, bank, f"l{num_negatives}", num_negatives=num_negatives
+            )
         for lam in LAMBDA_VALUES:
             sweeps["lambda"][lam] = _train_and_score(
                 train, split, bank, f"lam{lam}", cl_weight=lam

@@ -29,7 +29,6 @@ import os
 from dataclasses import replace
 from pathlib import Path
 
-import numpy as np
 
 from repro.core import ModelConfig, TrainConfig, build_model, train_model
 from repro.data import WorldConfig, drift_world, make_search_datasets

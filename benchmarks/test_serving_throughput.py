@@ -10,9 +10,11 @@ Two benchmarks share this module:
   path (:mod:`repro.infer`) against the eager ``Tensor`` forward — raw
   single-query scoring, a mixed micro-batch flush, and end-to-end fleet
   QPS on identical traffic — writing
-  ``benchmarks/artifacts/compiled_inference.json`` and warning (via
-  :func:`benchmarks._helpers.compare_to_artifact`) when compiled QPS
-  regresses >20% against the checked-in reference artifact.
+  ``benchmarks/artifacts/compiled_inference.json`` and gating the speedup
+  ratios (via :func:`benchmarks._helpers.compare_to_artifact`) against the
+  checked-in reference artifact: >20% down warns, and a >30% drop of the
+  single-query ratio fails the build (``REPRO_ALLOW_REGRESSION=1`` to
+  override).
 
 ``REPRO_SMOKE=1`` shrinks query counts and timing repeats so CI can
 exercise the compile path on every push.
@@ -254,15 +256,19 @@ def test_compiled_inference_speedup(search_data, trained_models):
     }
     COMPILED_ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
     COMPILED_ARTIFACT.write_text(json.dumps(report, indent=2))
-    regressions = [] if SMOKE else compare_to_artifact(
+    # The single-query speedup is a high-margin, machine-portable ratio —
+    # it is hard-gated even in smoke mode (>30% down fails the job, see
+    # _helpers.compare_to_artifact).  The flush and e2e-fleet ratios ride
+    # closer to 1x and breathe with runner noise, so they stay warn-only
+    # (fail_tolerance=1.0) and are skipped entirely in smoke mode.
+    regressions = compare_to_artifact(
+        report, COMPILED_REFERENCE, [("single_query", "speedup")]
+    ) + ([] if SMOKE else compare_to_artifact(
         report,
         COMPILED_REFERENCE,
-        [
-            ("single_query", "speedup"),
-            ("flush_batch", "speedup"),
-            ("fleet", "qps_improvement"),
-        ],
-    )
+        [("flush_batch", "speedup"), ("fleet", "qps_improvement")],
+        fail_tolerance=1.0,
+    ))
 
     print_table(
         ["Path", "eager", "compiled", "speedup"],

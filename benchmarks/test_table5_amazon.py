@@ -8,7 +8,6 @@ so the gate consumes the target item (the ``task="reco"`` code path).
 
 from dataclasses import replace
 
-import numpy as np
 import pytest
 
 from repro.core import ModelConfig, build_model, train_model

@@ -8,7 +8,6 @@ full AW-MoE gate is not worse than the Base variant, and all variants train
 to useful accuracy.
 """
 
-import numpy as np
 
 from repro.core import AWMoE, ModelConfig
 from repro.core.trainer import train_model

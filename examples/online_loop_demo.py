@@ -19,7 +19,6 @@ Run:  python examples/online_loop_demo.py
 import tempfile
 from dataclasses import replace
 
-import numpy as np
 
 from repro.core import ModelConfig, TrainConfig, build_model, train_model
 from repro.data import WorldConfig, drift_world, make_search_datasets

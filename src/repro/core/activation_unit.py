@@ -50,6 +50,21 @@ class ActivationUnit(Module):
             if last.bias is not None:
                 last.bias.data[:] = 0.1
 
+    def raw_scores(self, h_seq: Tensor, h_key: Tensor) -> Tensor:
+        """Mask-independent attention scores ``(B, M)``.
+
+        The validity mask enters the unit only as the final multiply, so
+        shared-trunk evaluations (the contrastive fast path scores one
+        behaviour sequence under several masks) compute this once and apply
+        each mask downstream.
+        """
+        batch, seq_len, hidden = h_seq.shape
+        if h_key.shape != (batch, hidden):
+            raise ValueError(f"key shape {h_key.shape} incompatible with sequence {h_seq.shape}")
+        key = h_key.expand_dims(1).broadcast_to((batch, seq_len, hidden))
+        pairwise = concat([h_seq, h_seq * key, key], axis=-1)
+        return self.mlp(pairwise).squeeze(2)
+
     def forward(self, h_seq: Tensor, h_key: Tensor, mask: np.ndarray) -> Tensor:
         """Score every sequence position against the key.
 
@@ -66,10 +81,4 @@ class ActivationUnit(Module):
         -------
         Attention weights ``(B, M)``, zero at padded positions.
         """
-        batch, seq_len, hidden = h_seq.shape
-        if h_key.shape != (batch, hidden):
-            raise ValueError(f"key shape {h_key.shape} incompatible with sequence {h_seq.shape}")
-        key = h_key.expand_dims(1).broadcast_to((batch, seq_len, hidden))
-        pairwise = concat([h_seq, h_seq * key, key], axis=-1)
-        weights = self.mlp(pairwise).squeeze(2)
-        return weights * np.asarray(mask, dtype=np.float32)
+        return self.raw_scores(h_seq, h_key) * np.asarray(mask, dtype=np.float32)

@@ -20,7 +20,7 @@ activation) — which the paper identifies as its key architectural idea.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -90,6 +90,24 @@ class AWMoE(RankingModel):
             gate = self._coerce_gate(gate_override)
         logits = (gate * scores).sum(axis=1)
         return logits, gate
+
+    def forward_with_gate_views(
+        self, batch: Batch, extra_masks: Sequence[np.ndarray]
+    ) -> Tuple[Tensor, List[Tensor]]:
+        """Ranking logits plus the gate under several behaviour-mask views.
+
+        Returns ``(logits, gates)`` where ``gates[0]`` is the anchor gate
+        (the one the logits use, under the batch's own mask) and
+        ``gates[1:]`` correspond to ``extra_masks``.  The training fast path
+        uses this to obtain the contrastive anchor *and* positive from one
+        shared gate trunk (:meth:`GateNetwork.forward_views`) instead of two
+        full gate forward passes per step.
+        """
+        v_imp = self.input_network(batch)
+        scores = self.experts(v_imp)  # (B, K)
+        gates = self.gate.forward_views(batch, [None, *extra_masks])
+        logits = (gates[0] * scores).sum(axis=1)
+        return logits, gates
 
     @staticmethod
     def _coerce_gate(gate_override: np.ndarray) -> Tensor:

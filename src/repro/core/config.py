@@ -8,7 +8,7 @@ every architectural choice identical.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Tuple
 
 __all__ = ["ModelConfig", "TrainConfig"]
@@ -109,6 +109,12 @@ class TrainConfig:
     # (future-work extensions, §V).
     augmentation: str = "mask"
     log_every: int = 0
+    # Train through the fused fast path: packed-expert GEMMs, fused
+    # linear+bias+activation kernels, shared-trunk contrastive views, and a
+    # recycled gradient-buffer arena.  ``False`` selects the eager reference
+    # path — op for op the original implementation, with bitwise-reproducible
+    # loss curves — which the fast path is parity-tested against.
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.mask_prob <= 1.0:

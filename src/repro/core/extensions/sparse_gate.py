@@ -9,7 +9,7 @@ rest contribute nothing, so at inference those experts can be skipped).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -72,6 +72,25 @@ class SparseGatedAWMoE(AWMoE):
             gate = self._coerce_gate(gate_override)
         logits = (gate * scores).sum(axis=1)
         return logits, gate
+
+    def forward_with_gate_views(
+        self, batch: Batch, extra_masks: Sequence[np.ndarray]
+    ) -> Tuple[Tensor, List[Tensor]]:
+        """Shared-trunk views with the anchor sparsified.
+
+        Mirrors the eager training semantics exactly: the anchor gate (which
+        both weights the experts and anchors the contrastive loss, see
+        :meth:`forward_with_gate`) is top-K sparsified, while the augmented
+        views stay dense like :meth:`AWMoE.gate_vector` leaves them.  Without
+        this override the inherited fast path would train a dense gate and
+        serve a sparse one.
+        """
+        v_imp = self.input_network(batch)
+        scores = self.experts(v_imp)
+        gates = self.gate.forward_views(batch, [None, *extra_masks])
+        gates[0] = sparse_top_k(gates[0], self.top_k)
+        logits = (gates[0] * scores).sum(axis=1)
+        return logits, gates
 
     def serving_gate(self, batch: Batch) -> np.ndarray:
         """Cacheable gate = raw gate sparsified, matching the forward pass."""

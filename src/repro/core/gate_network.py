@@ -31,7 +31,7 @@ pooling weights are uniform (plain sums over valid positions).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -41,7 +41,6 @@ from repro.core.gate_unit import GateUnit
 from repro.core.input_network import FeatureEmbedder
 from repro.data.schema import Batch, DatasetMeta
 from repro.nn import MLP, Module, Parameter, Tensor, concat, softmax
-from repro.nn import init as nn_init
 
 __all__ = ["GateNetwork"]
 
@@ -144,3 +143,73 @@ class GateNetwork(Module):
         if self.config.normalize_gate:
             gate = softmax(gate, axis=-1)
         return gate
+
+    def forward_views(
+        self, batch: Batch, masks: Sequence[Optional[np.ndarray]]
+    ) -> List[Tensor]:
+        """Gate vectors for several mask views of ONE behaviour sequence.
+
+        The contrastive objective (§III-D) needs the gate under the original
+        mask (anchor) and under a randomly masked view (positive).  Running
+        :meth:`forward` twice recomputes the whole trunk — embeddings,
+        ``MLP^G``, the key MLP, and both unit MLPs — even though none of it
+        depends on the mask: the mask only gates the final pooling (Eq. 8).
+        This method evaluates the trunk once and derives every view with one
+        batched masked-pooling op over the stacked ``(V, B, M)`` masks, so
+        the duplicated trunk forward *and* its duplicated backward disappear
+        from the training hot path.
+
+        ``None`` entries resolve to the batch's own ``behavior_mask``.
+        Views only share the trunk when the id arrays are identical — the
+        "reorder" augmentation rewrites ids and must keep using two full
+        forward passes.
+        """
+        resolved = [
+            np.asarray(
+                batch["behavior_mask"] if mask is None else mask, dtype=np.float32
+            )
+            for mask in masks
+        ]
+        h_behavior = self.behavior_mlp(self.embedder.behavior(batch))  # (B, M, H)
+        h_key = self._key_hidden(batch)  # (B, H)
+        stacked = np.stack(resolved)  # (V, B, M)
+        counts = np.maximum(stacked.sum(axis=2, keepdims=True), 1.0)  # (V, B, 1)
+
+        if self.gate_unit is not None:
+            raw_scores = self.gate_unit.raw_scores(h_behavior, h_key)  # (B, M, K)
+            if self.activation_unit is not None:
+                raw_weights = self.activation_unit.raw_scores(h_behavior, h_key)  # (B, M)
+                # Per view v: ((raw_s·m_v) ⊙ (raw_w·m_v)) summed over M —
+                # the same elementwise products as the eager per-view pass,
+                # evaluated as one broadcast op over the stacked masks.
+                masked_scores = raw_scores.expand_dims(0) * Tensor(stacked[:, :, :, None])
+                masked_weights = (raw_weights.expand_dims(0) * Tensor(stacked)).expand_dims(3)
+                gates = (masked_scores * masked_weights).sum(axis=2) * (1.0 / counts)
+            else:
+                masked_scores = raw_scores.expand_dims(0) * Tensor(stacked[:, :, :, None])
+                gates = masked_scores.sum(axis=2) * (1.0 / counts)
+            views = [gates[v] for v in range(len(resolved))]
+        else:
+            # Ablation variants pool the behaviour hiddens per view and run
+            # the fallback FFN on each; the trunk (h_behavior, h_key, raw
+            # attention scores) is still shared across views.
+            raw_weights = (
+                self.activation_unit.raw_scores(h_behavior, h_key)
+                if self.activation_unit is not None
+                else None
+            )
+            views = []
+            for v, mask in enumerate(resolved):
+                count = counts[v]
+                if raw_weights is not None:
+                    weights = raw_weights * mask
+                    pooled = (h_behavior * weights.expand_dims(2)).sum(axis=1) * (1.0 / count)
+                else:
+                    pooled = (h_behavior * mask[:, :, None]).sum(axis=1) * (1.0 / count)
+                views.append(self.pooled_mlp(concat([pooled, h_key], axis=-1)))
+
+        if self.bias is not None:
+            views = [gate + self.bias for gate in views]
+        if self.config.normalize_gate:
+            views = [softmax(gate, axis=-1) for gate in views]
+        return views

@@ -44,6 +44,19 @@ class GateUnit(Module):
             if last.bias is not None:
                 last.bias.data[:] = 0.1
 
+    def raw_scores(self, h_seq: Tensor, h_key: Tensor) -> Tensor:
+        """Mask-independent per-item expert scores ``(B, M, K)``.
+
+        As in :meth:`ActivationUnit.raw_scores`, the mask only gates the
+        output, so multi-view (contrastive) evaluations share this result.
+        """
+        batch, seq_len, hidden = h_seq.shape
+        if h_key.shape != (batch, hidden):
+            raise ValueError(f"key shape {h_key.shape} incompatible with sequence {h_seq.shape}")
+        key = h_key.expand_dims(1).broadcast_to((batch, seq_len, hidden))
+        pairwise = concat([h_seq, h_seq * key, key], axis=-1)
+        return self.mlp(pairwise)
+
     def forward(self, h_seq: Tensor, h_key: Tensor, mask: np.ndarray) -> Tensor:
         """Per-item, per-expert activation scores.
 
@@ -61,11 +74,5 @@ class GateUnit(Module):
         -------
         Activation scores ``(B, M, K)``, zero at padded positions.
         """
-        batch, seq_len, hidden = h_seq.shape
-        if h_key.shape != (batch, hidden):
-            raise ValueError(f"key shape {h_key.shape} incompatible with sequence {h_seq.shape}")
-        key = h_key.expand_dims(1).broadcast_to((batch, seq_len, hidden))
-        pairwise = concat([h_seq, h_seq * key, key], axis=-1)
-        scores = self.mlp(pairwise)
         mask3 = np.asarray(mask, dtype=np.float32)[:, :, None]
-        return scores * mask3
+        return self.raw_scores(h_seq, h_key) * mask3

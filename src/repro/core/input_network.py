@@ -11,8 +11,6 @@ replaces the attention with plain sum pooling as in YouTube-DNN.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
-
 import numpy as np
 
 from repro.core.activation_unit import ActivationUnit

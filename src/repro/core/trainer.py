@@ -9,6 +9,7 @@ the ``contrastive`` flag — as in the paper.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -18,7 +19,7 @@ from repro.core.contrastive import ContrastiveStrategy
 from repro.core.ranking_model import RankingModel
 from repro.data.dataset import RankingDataset, iterate_batches
 from repro.data.schema import Batch
-from repro.nn import AdamW, bce_with_logits, clip_grad_norm
+from repro.nn import AdamW, GradArena, bce_with_logits, clip_grad_norm, fast_math
 from repro.utils.logging import RunLog
 from repro.utils.rng import SeedBank
 
@@ -47,6 +48,7 @@ def train_model(
     cl_rng = bank.child("contrastive")
     optimizers = build_optimizers(model, config)
     strategy = build_strategy(config)
+    arena = GradArena() if config.fast_path else None
     if log is None:
         log = RunLog(name=type(model).__name__, echo_every=config.log_every)
 
@@ -57,7 +59,7 @@ def train_model(
             train_set, config.batch_size, rng=shuffle_rng, drop_last=True
         ):
             step += 1
-            metrics = train_step(model, batch, config, optimizers, strategy, cl_rng)
+            metrics = train_step(model, batch, config, optimizers, strategy, cl_rng, arena)
             log.log(step, epoch=epoch, **metrics)
     model.eval()
     return log
@@ -70,6 +72,7 @@ def train_step(
     optimizers: List[AdamW],
     strategy: ContrastiveStrategy,
     cl_rng: Optional[np.random.Generator] = None,
+    arena: Optional[GradArena] = None,
 ) -> Dict[str, float]:
     """One gradient update on one mini-batch; returns its loss metrics.
 
@@ -77,26 +80,56 @@ def train_step(
     trainer (:mod:`repro.online.incremental`) are built from — sharing it
     guarantees the online refresh path optimizes exactly the offline
     objective.
+
+    With ``config.fast_path`` the step runs under :func:`repro.nn.fast_math`
+    — packed-expert GEMMs, fused linear kernels, and (for AW-MoE with a
+    mask-type augmentation) the shared-trunk contrastive pair — while
+    ``arena``, when supplied by a surrounding training loop, recycles
+    gradient buffers across steps.  Both paths draw from ``cl_rng`` in the
+    same order, so fast and eager runs see identical augmentations and
+    in-batch negatives.
     """
-    if config.contrastive:
-        logits, gate = model.forward_with_gate(batch)
-        rank_loss = bce_with_logits(logits, batch["label"])
-        cl_loss = strategy.loss(model, batch, gate, cl_rng)
-        loss = rank_loss + cl_loss
-        extra = {"cl_loss": cl_loss.item()}
-    else:
-        logits = model.forward(batch)
-        rank_loss = bce_with_logits(logits, batch["label"])
-        loss = rank_loss
-        extra = {}
-    for optimizer in optimizers:
-        optimizer.zero_grad()
-    loss.backward()
-    if config.grad_clip:
-        clip_grad_norm(model.parameters(), config.grad_clip)
-    for optimizer in optimizers:
-        optimizer.step()
+    mode = fast_math(arena) if config.fast_path else contextlib.nullcontext()
+    with mode:
+        if config.contrastive:
+            if config.fast_path and _can_share_gate_trunk(model, strategy):
+                positive_mask = strategy.positive_view(batch, cl_rng)
+                logits, gates = model.forward_with_gate_views(batch, [positive_mask])
+                rank_loss = bce_with_logits(logits, batch["label"])
+                cl_loss = strategy.loss_from_gates(gates[0], gates[1], cl_rng)
+            else:
+                logits, gate = model.forward_with_gate(batch)
+                rank_loss = bce_with_logits(logits, batch["label"])
+                cl_loss = strategy.loss(model, batch, gate, cl_rng)
+            loss = rank_loss + cl_loss
+            extra = {"cl_loss": cl_loss.item()}
+        else:
+            logits = model.forward(batch)
+            rank_loss = bce_with_logits(logits, batch["label"])
+            loss = rank_loss
+            extra = {}
+        for optimizer in optimizers:
+            optimizer.zero_grad()
+        loss.backward()
+        if config.grad_clip:
+            clip_grad_norm(model.parameters(), config.grad_clip)
+        for optimizer in optimizers:
+            optimizer.step()
+    if arena is not None:
+        for optimizer in optimizers:
+            arena.release_grads(optimizer.params)
     return {"loss": loss.item(), "rank_loss": rank_loss.item(), **extra}
+
+
+def _can_share_gate_trunk(model: RankingModel, strategy: ContrastiveStrategy) -> bool:
+    """Whether the contrastive pair can reuse one gate-trunk forward.
+
+    Mask-type augmentations ("mask", "crop") leave the behaviour ids
+    untouched, so anchor and positive share every mask-independent
+    activation; "reorder" rewrites the id arrays and must run two full
+    passes.
+    """
+    return strategy.augmentation != "reorder" and hasattr(model, "forward_with_gate_views")
 
 
 def build_strategy(config: TrainConfig) -> ContrastiveStrategy:

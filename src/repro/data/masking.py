@@ -12,7 +12,7 @@ augmented view through the ``mask_override`` hook of the gate network.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -46,19 +46,25 @@ def random_crop(mask: np.ndarray, rng: np.random.Generator, ratio: float = 0.8) 
     """Keep a random contiguous window covering ``ratio`` of valid items.
 
     Unlike masking, cropping preserves local order/recency structure.
+
+    The window is chosen per row but computed for the whole batch at once:
+    every position gets a rank among its row's valid entries, one vectorised
+    draw picks each row's window start, and the crop is two broadcast
+    comparisons — no per-sample Python loop on the contrastive hot path.
     """
     if not 0.0 < ratio <= 1.0:
         raise ValueError(f"crop ratio must be in (0, 1], got {ratio}")
     mask = np.asarray(mask, dtype=np.float32)
-    out = np.zeros_like(mask)
-    for row in range(mask.shape[0]):
-        valid = np.flatnonzero(mask[row] > 0)
-        if valid.size == 0:
-            continue
-        window = max(1, int(round(valid.size * ratio)))
-        start = int(rng.integers(0, valid.size - window + 1))
-        out[row, valid[start : start + window]] = 1.0
-    return out
+    valid = mask > 0
+    # Rank of each valid position within its row (0-based, in order).
+    rank = np.cumsum(valid, axis=1) - 1
+    counts = valid.sum(axis=1)  # valid items per row
+    window = np.maximum(1, np.rint(counts * ratio).astype(np.int64))
+    # Uniform start in [0, counts - window]; empty rows draw a dummy 0.
+    span = np.maximum(counts - window + 1, 1)
+    start = rng.integers(0, span)
+    keep = valid & (rank >= start[:, None]) & (rank < (start + window)[:, None])
+    return np.where(keep, mask, 0.0).astype(np.float32)
 
 
 def random_reorder(

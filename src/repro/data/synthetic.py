@@ -35,8 +35,8 @@ Everything is deterministic given the ``numpy.random.Generator`` passed in.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 import numpy as np
 

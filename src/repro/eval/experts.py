@@ -9,7 +9,7 @@ different user groups activate different experts (the paper's §IV-F claim
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict
 
 import numpy as np
 

@@ -9,7 +9,7 @@ resamples in which the challenger does not beat the reference.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

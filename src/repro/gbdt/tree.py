@@ -11,8 +11,8 @@ importance the paper reads off XGBoost for Fig. 2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 import numpy as np
 

@@ -36,7 +36,7 @@ stack treats as "fall back to the eager forward".
 from __future__ import annotations
 
 import copy
-from typing import Callable, Dict, List, Optional, Tuple, Type
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 

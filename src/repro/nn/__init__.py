@@ -5,8 +5,15 @@ re-implements the needed subset from scratch: reverse-mode autodiff tensors,
 layers (Linear / Embedding / MLP / Dropout / LayerNorm), optimizers
 (SGD / Adam / AdamW), and the two losses the paper combines — binary
 cross-entropy ranking loss (Eq. 1) and InfoNCE contrastive loss (Eq. 10).
+
+Training has two execution modes: the eager reference path (every op its
+own graph node — the bitwise-reproducible specification) and the fused fast
+path under :func:`fast_math` — the :func:`linear` kernel collapses
+matmul+bias+activation into one node, and a :class:`GradArena` recycles
+gradient buffers across steps (see :mod:`repro.nn.arena`).
 """
 
+from repro.nn.arena import GradArena, active_arena, fast_math, is_fast_math
 from repro.nn.tensor import Tensor, no_grad, is_grad_enabled
 from repro.nn.module import Module, Parameter
 from repro.nn.layers import (
@@ -21,6 +28,7 @@ from repro.nn.layers import (
 from repro.nn.ops import (
     concat,
     embedding,
+    linear,
     log_softmax,
     logsumexp,
     masked_fill,
@@ -54,6 +62,10 @@ __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "GradArena",
+    "fast_math",
+    "is_fast_math",
+    "active_arena",
     "Module",
     "Parameter",
     "Linear",
@@ -70,6 +82,7 @@ __all__ = [
     "minimum",
     "embedding",
     "take",
+    "linear",
     "softmax",
     "log_softmax",
     "logsumexp",

@@ -1,0 +1,132 @@
+"""Gradient buffer arena and the fast-math training mode.
+
+The compiled serving path (:mod:`repro.infer`) executes in a shape-keyed
+``BufferArena`` with zero steady-state allocations.  This module applies the
+same idea to **autograd**: in steady-state training every step re-allocates
+the same gradient arrays — one per op output plus one per parameter — only
+to free them all again before the next step.  :class:`GradArena` recycles
+those buffers across steps, and :func:`fast_math` switches the layer zoo
+onto fused kernels (matmul + bias + activation as one op, packed-expert
+GEMMs) that cut the op count of the hot training step.
+
+Two coupled switches, one context manager::
+
+    arena = GradArena()              # persistent, owned by the trainer
+    with fast_math(arena):
+        loss = model(batch)          # fused forward kernels
+        loss.backward()              # gradients land in recycled buffers
+    optimizer.step()
+    arena.release_grads(optimizer.params)   # buffers return to the pool
+
+``fast_math()`` without an arena still enables the fused kernels; gradient
+buffers are then allocated normally.  Outside the context every op takes the
+original reference path, bit for bit — the eager path is the specification
+the fast path is tested against.
+
+Correctness invariants (relied on by :mod:`repro.nn.tensor`):
+
+* every array handed out by :meth:`GradArena.lease` is exclusively owned by
+  the tensor whose ``.grad`` it becomes; backward closures never retain
+  references to other tensors' gradient buffers;
+* intermediate gradients are released back to the pool as soon as their
+  backward closure has propagated them (``Tensor.backward`` does this),
+  parameter gradients only after the optimizer consumed them.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["GradArena", "fast_math", "is_fast_math", "active_arena"]
+
+
+class GradArena:
+    """A pool of reusable gradient buffers keyed by ``(shape, dtype)``.
+
+    Buffers are handed out LIFO so the most recently touched (cache-warm)
+    memory is reused first.  The arena never zeroes on lease — callers that
+    need zeroed memory use :meth:`lease_zeros` — and never shrinks; the
+    steady-state footprint is one buffer per live gradient of the largest
+    training step seen.
+    """
+
+    __slots__ = ("_free", "allocations", "reuses")
+
+    def __init__(self) -> None:
+        self._free: Dict[Tuple[Tuple[int, ...], np.dtype], List[np.ndarray]] = {}
+        self.allocations = 0
+        self.reuses = 0
+
+    def lease(self, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        """Return an uninitialised buffer of ``shape``/``dtype``."""
+        key = (tuple(shape), np.dtype(dtype))
+        stack = self._free.get(key)
+        if stack:
+            self.reuses += 1
+            return stack.pop()
+        self.allocations += 1
+        return np.empty(key[0], dtype=key[1])
+
+    def lease_zeros(self, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        """Return a zero-filled buffer (for scatter-add accumulation)."""
+        buffer = self.lease(shape, dtype)
+        buffer.fill(0.0)
+        return buffer
+
+    def release(self, buffer: Optional[np.ndarray]) -> None:
+        """Return ``buffer`` to the pool.  ``None`` is ignored."""
+        if buffer is None:
+            return
+        key = (buffer.shape, buffer.dtype)
+        self._free.setdefault(key, []).append(buffer)
+
+    def release_grads(self, params: Iterable) -> None:
+        """Reclaim the ``.grad`` buffers of ``params`` (post optimizer step).
+
+        Clears each parameter's gradient, so this doubles as ``zero_grad``
+        for the following step.
+        """
+        for param in params:
+            if param.grad is not None:
+                self.release(param.grad)
+                param.grad = None
+
+    def stats(self) -> Dict[str, int]:
+        """Allocation counters plus the current pooled-buffer count."""
+        pooled = sum(len(stack) for stack in self._free.values())
+        return {"allocations": self.allocations, "reuses": self.reuses, "pooled": pooled}
+
+
+_FAST_MATH = False
+_ARENA: Optional[GradArena] = None
+
+
+@contextlib.contextmanager
+def fast_math(arena: Optional[GradArena] = None):
+    """Enable fused training kernels (and, with ``arena``, buffer reuse).
+
+    Nesting restores the previous mode and arena on exit, so an eager
+    reference computation can be embedded inside a fast-path step (and vice
+    versa) for parity checks.
+    """
+    global _FAST_MATH, _ARENA
+    previous = (_FAST_MATH, _ARENA)
+    _FAST_MATH = True
+    _ARENA = arena
+    try:
+        yield
+    finally:
+        _FAST_MATH, _ARENA = previous
+
+
+def is_fast_math() -> bool:
+    """Whether fused training kernels are currently enabled."""
+    return _FAST_MATH
+
+
+def active_arena() -> Optional[GradArena]:
+    """The gradient arena of the innermost :func:`fast_math`, if any."""
+    return _ARENA

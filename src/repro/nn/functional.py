@@ -8,8 +8,6 @@ is exactly one implementation of each operation.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
-
 from repro.nn.ops import (  # noqa: F401  (re-exported)
     concat,
     embedding,

@@ -12,8 +12,10 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.nn import init
+from repro.nn.arena import is_fast_math
 from repro.nn.module import Module, Parameter
 from repro.nn.ops import embedding as embedding_op
+from repro.nn.ops import linear as linear_op
 from repro.nn.tensor import Tensor
 
 __all__ = ["Linear", "Embedding", "MLP", "Dropout", "LayerNorm", "Sequential", "Identity"]
@@ -71,6 +73,8 @@ class Linear(Module):
             raise ValueError(
                 f"Linear expected last dim {self.in_features}, got input shape {x.shape}"
             )
+        if is_fast_math():
+            return linear_op(x, self.weight, self.bias)
         leading = x.shape[:-1]
         flat = x.reshape(-1, self.in_features) if x.ndim != 2 else x
         out = flat.matmul(self.weight)
@@ -210,10 +214,15 @@ class MLP(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         last = len(self._linears) - 1
+        fused = is_fast_math()
         for i, layer in enumerate(self._linears):
-            x = layer(x)
             name = self.output_activation if i == last else self.activation
-            x = apply_activation(x, name)
+            if fused and name in (None, "linear", "relu"):
+                # One graph node per layer: matmul + bias + activation fused.
+                x = linear_op(x, layer.weight, layer.bias, activation=name)
+            else:
+                x = layer(x)
+                x = apply_activation(x, name)
             drop = self._dropouts[i]
             if drop is not None:
                 x = drop(x)

@@ -8,10 +8,11 @@ stability (``log_softmax``, ``logsumexp``, ``bce_with_logits``).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.nn.arena import active_arena
 from repro.nn.tensor import Tensor, _unbroadcast, is_grad_enabled
 
 __all__ = [
@@ -22,6 +23,7 @@ __all__ = [
     "minimum",
     "embedding",
     "take",
+    "linear",
     "softmax",
     "log_softmax",
     "logsumexp",
@@ -110,6 +112,18 @@ def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if weight.requires_grad:
+            arena = active_arena()
+            if arena is not None:
+                # Scatter-add straight into the (possibly recycled) weight
+                # gradient — the reference path below materialises a full
+                # zeroed table per lookup and then adds it into the grad,
+                # two table-sized passes the hot path cannot afford.
+                if weight.grad is None:
+                    weight.grad = arena.lease_zeros(weight.data.shape, weight.data.dtype)
+                np.add.at(
+                    weight.grad, indices.reshape(-1), grad.reshape(-1, weight.data.shape[-1])
+                )
+                return
             full = np.zeros_like(weight.data)
             np.add.at(full, indices.reshape(-1), grad.reshape(-1, weight.data.shape[-1]))
             weight._accumulate(full)
@@ -135,6 +149,134 @@ def take(tensor: Tensor, indices: np.ndarray, axis: int = 0) -> Tensor:
             tensor._accumulate(full)
 
     return Tensor._make(data, (tensor,), backward)
+
+
+def _accumulate_matmul(tensor: Tensor, a: np.ndarray, b: np.ndarray) -> None:
+    """Accumulate ``a @ b`` into ``tensor.grad`` without a temporary.
+
+    When the tensor has no gradient yet (the common case — each weight and
+    each activation receives exactly one contribution per training step) the
+    product is written straight into a fresh buffer with ``np.matmul(...,
+    out=...)``; only genuine second contributions pay for a temporary plus
+    an add.
+    """
+    if tensor.grad is None:
+        arena = active_arena()
+        out = (
+            arena.lease(tensor.data.shape, tensor.data.dtype)
+            if arena is not None
+            else np.empty_like(tensor.data)
+        )
+        np.matmul(a, b, out=out)
+        tensor.grad = out
+    else:
+        tensor.grad += a @ b
+
+
+def linear(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    activation: Optional[str] = None,
+) -> Tensor:
+    """Fused affine op: ``activation(x @ weight + bias)`` as ONE graph node.
+
+    The eager reference path builds this from three ops (matmul, broadcast
+    add, activation), each with its own output allocation, backward closure,
+    and gradient buffer.  The training fast path (:func:`repro.nn.fast_math`)
+    fuses them: the bias add and the activation run in place on the matmul
+    output, and one backward closure writes the three gradients with single
+    GEMMs (``out=`` into arena buffers when one is active).
+
+    Two weight layouts are supported:
+
+    * ``(in, out)`` — a plain layer; ``x`` may carry any leading dims, which
+      are flattened into one GEMM exactly like :class:`repro.nn.layers.Linear`;
+    * ``(K, in, out)`` — a **packed** stack of K layers sharing one input
+      ``(B, in)`` (broadcast over K) or carrying per-layer inputs
+      ``(K, B, in)``; forward and backward each run as one batched GEMM.
+      Bias, when given, has shape ``(K, out)``.
+
+    ``activation`` is ``None``/``"linear"`` or ``"relu"`` — the only
+    activations on the training hot path; anything else should be applied as
+    a separate op.
+    """
+    if activation not in (None, "linear", "relu"):
+        raise ValueError(f"linear() cannot fuse activation {activation!r}")
+    relu = activation == "relu"
+    wd = weight.data
+    xd = x.data
+    if xd.shape[-1] != wd.shape[-2]:
+        raise ValueError(
+            f"linear expected input features {wd.shape[-2]}, got input shape {xd.shape}"
+        )
+
+    packed = wd.ndim == 3
+    if not packed:
+        if wd.ndim != 2:
+            raise ValueError(f"weight must be (in, out) or (K, in, out), got {wd.shape}")
+        leading = xd.shape[:-1]
+        flat = xd.reshape(-1, wd.shape[0])
+        data = flat @ wd
+        if bias is not None:
+            data += bias.data
+        if relu:
+            np.maximum(data, 0.0, out=data)
+        out_shape = (*leading, wd.shape[1])
+        data = data.reshape(out_shape)
+    else:
+        if xd.ndim not in (2, 3):
+            raise ValueError(f"packed linear input must be (B, in) or (K, B, in), got {xd.shape}")
+        if bias is not None and bias.data.shape != (wd.shape[0], wd.shape[2]):
+            raise ValueError(
+                f"packed bias must be (K, out) = {(wd.shape[0], wd.shape[2])}, "
+                f"got {bias.data.shape}"
+            )
+        data = xd @ wd  # (B, in) @ (K, in, out) -> (K, B, out), batched over K
+        if bias is not None:
+            data += bias.data[:, None, :]
+        if relu:
+            np.maximum(data, 0.0, out=data)
+
+    if not is_grad_enabled():
+        return Tensor._from_data(data)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad * (data > 0) if relu else grad
+        if not packed:
+            gf = g.reshape(-1, wd.shape[1])
+            if weight.requires_grad:
+                _accumulate_matmul(weight, flat.T, gf)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(gf.sum(axis=0))
+            if x.requires_grad:
+                if x.grad is None:
+                    arena = active_arena()
+                    # np.empty (not empty_like): the buffer must be
+                    # C-contiguous so the 2-D reshape below is a view.
+                    out = (
+                        arena.lease(xd.shape, xd.dtype)
+                        if arena is not None
+                        else np.empty(xd.shape, dtype=xd.dtype)
+                    )
+                    np.matmul(gf, wd.T, out=out.reshape(-1, wd.shape[0]))
+                    x.grad = out
+                else:
+                    x.grad += (gf @ wd.T).reshape(xd.shape)
+        else:
+            if weight.requires_grad:
+                # (K, in, B) @ (K, B, out) — or broadcast (in, B) for a
+                # shared input — one batched GEMM per step.
+                _accumulate_matmul(weight, xd.swapaxes(-1, -2), g)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(g.sum(axis=1))
+            if x.requires_grad:
+                xg = g @ wd.swapaxes(-1, -2)  # (K, B, in)
+                x._accumulate(_unbroadcast(xg, xd.shape))
+
+    return Tensor._make(data, parents, backward)
 
 
 def logsumexp(tensor: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:

@@ -6,7 +6,7 @@ and Adam are provided for completeness and for the ablation benchmarks.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

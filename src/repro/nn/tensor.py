@@ -30,9 +30,11 @@ Design notes
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.nn.arena import active_arena
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
@@ -207,6 +209,17 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
+            arena = active_arena()
+            if arena is not None:
+                # Fast path: copy into a recycled buffer — one memory pass
+                # instead of the reference path's zero-fill + add, and no
+                # allocation in steady state.  ``grad`` is always copied,
+                # never adopted: closures may pass views (reshape/squeeze)
+                # or even the output tensor's own gradient straight through.
+                buffer = arena.lease(self.data.shape, self.data.dtype)
+                np.copyto(buffer, grad)
+                self.grad = buffer
+                return
             self.grad = np.zeros_like(self.data)
         self.grad += grad
 
@@ -248,6 +261,7 @@ class Tensor:
                     stack.append((parent, False))
 
         self._accumulate(grad)
+        arena = active_arena()
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
@@ -256,6 +270,14 @@ class Tensor:
                 if node is not self:
                     node._backward = None
                     node._parents = ()
+                if arena is not None:
+                    # An op output's gradient is dead once its closure has
+                    # propagated it; recycle the buffer for the next
+                    # accumulation.  This covers the root (loss) too —
+                    # parameters are leaves, never reach this branch, and
+                    # keep their gradients for the optimizer.
+                    arena.release(node.grad)
+                    node.grad = None
 
     # ------------------------------------------------------------------
     # elementwise arithmetic

@@ -91,9 +91,9 @@ class PositionBiasedClickModel:
         if relevance_fn is None:
             if world is None:
                 raise ValueError("pass a world or an explicit relevance_fn")
-            relevance_fn = lambda user, items, category: true_relevance(
-                world, user, items, category
-            )
+
+            def relevance_fn(user, items, category):
+                return true_relevance(world, user, items, category)
         self.config = config
         self.relevance_fn = relevance_fn
         self._rng = rng

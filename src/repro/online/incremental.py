@@ -24,7 +24,7 @@ from repro.core.config import TrainConfig
 from repro.core.ranking_model import RankingModel
 from repro.core.trainer import build_optimizers, build_strategy, train_step
 from repro.data.dataset import RankingDataset, iterate_batches
-from repro.nn import load_training_state, save_training_state
+from repro.nn import GradArena, load_training_state, save_training_state
 from repro.utils.logging import RunLog
 from repro.utils.rng import SeedBank
 
@@ -61,6 +61,10 @@ class IncrementalTrainer:
         self.seed = int(seed)
         self.optimizers = build_optimizers(model, config)
         self.strategy = build_strategy(config)
+        # One arena for the trainer's lifetime: refresh cycles run the same
+        # step shapes over and over, so after the first window the gradient
+        # buffers of every subsequent cycle come from the pool.
+        self.arena = GradArena() if config.fast_path else None
         self.updates = 0
         self.total_steps = 0
 
@@ -90,7 +94,13 @@ class IncrementalTrainer:
                     continue
                 step += 1
                 metrics = train_step(
-                    self.model, batch, self.config, self.optimizers, self.strategy, cl_rng
+                    self.model,
+                    batch,
+                    self.config,
+                    self.optimizers,
+                    self.strategy,
+                    cl_rng,
+                    self.arena,
                 )
                 log.log(step, epoch=epoch, **metrics)
         self.model.eval()

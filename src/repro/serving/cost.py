@@ -12,7 +12,7 @@ a :class:`repro.core.config.ModelConfig` and reproduces that comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Sequence
 
 from repro.core.config import ModelConfig
 from repro.data.schema import DatasetMeta

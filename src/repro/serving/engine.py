@@ -45,6 +45,10 @@ from repro.infer import CompiledModel, CompileError, compile_model
 
 __all__ = ["RankedList", "SearchEngine"]
 
+# One DeprecationWarning per process for the mean_latency_ms alias (tests
+# reset this to re-arm the warning).
+_MEAN_LATENCY_WARNED = False
+
 
 @dataclass
 class RankedList:
@@ -252,11 +256,16 @@ class SearchEngine:
 
         The two names accumulated independently-documented copies of the
         same quantity; :attr:`avg_latency_ms` is canonical.  This alias
-        warns and will be removed.
+        warns **once per process** — serving loops read latency stats per
+        query, and a warning per call would swamp the logs of any fleet
+        still on the old name — and will be removed.
         """
-        warnings.warn(
-            "SearchEngine.mean_latency_ms is deprecated; use avg_latency_ms",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        global _MEAN_LATENCY_WARNED
+        if not _MEAN_LATENCY_WARNED:
+            _MEAN_LATENCY_WARNED = True
+            warnings.warn(
+                "SearchEngine.mean_latency_ms is deprecated; use avg_latency_ms",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         return self.avg_latency_ms

@@ -8,8 +8,6 @@ components do not perturb each other's streams when code is added or removed.
 
 from __future__ import annotations
 
-from typing import Dict
-
 import numpy as np
 
 __all__ = ["SeedBank", "generator"]

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import ModelConfig, TrainConfig
-from repro.data import WorldConfig, generate_world, make_search_datasets
+from repro.data import WorldConfig, make_search_datasets
 from repro.utils import SeedBank
 
 

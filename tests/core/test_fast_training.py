@@ -1,0 +1,208 @@
+"""Parity of the fast training path against the eager reference.
+
+The fast path (``TrainConfig.fast_path``) must optimize *exactly* the same
+objective as the eager reference: packed-expert GEMMs, fused linear kernels,
+and the shared-trunk contrastive pair are all float-level reorderings of the
+reference computation, never different math.  These tests pin that contract
+at every level — expert pool, gate views, and full training steps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig, TrainConfig, build_model
+from repro.core.expert import ExpertPool
+from repro.core.trainer import build_optimizers, build_strategy, train_step
+from repro.data.dataset import iterate_batches
+from repro.nn import GradArena, Tensor, fast_math
+from repro.utils import SeedBank
+
+
+def _pool(dropout=0.0, seed=0):
+    return ExpertPool(12, (16, 8), 4, np.random.default_rng(seed), dropout=dropout)
+
+
+class TestPackedExpertPool:
+    def test_forward_matches_eager(self):
+        pool = _pool()
+        v_imp = Tensor(np.random.default_rng(1).normal(size=(6, 12)).astype(np.float32))
+        eager = pool.forward_eager(v_imp)
+        packed = pool.forward_packed(v_imp)
+        assert packed.shape == (6, 4)
+        assert np.allclose(eager.numpy(), packed.numpy(), atol=1e-6)
+
+    def test_gradients_match_eager(self):
+        pool = _pool()
+        data = np.random.default_rng(2).normal(size=(6, 12)).astype(np.float32)
+        upstream = np.random.default_rng(3).normal(size=(6, 4)).astype(np.float32)
+
+        pool.forward_eager(Tensor(data)).backward(upstream)
+        eager_grads = {name: p.grad.copy() for name, p in pool.named_parameters()}
+        pool.zero_grad()
+        pool.forward_packed(Tensor(data)).backward(upstream)
+        for name, param in pool.named_parameters():
+            assert np.allclose(eager_grads[name], param.grad, atol=1e-5), name
+
+    def test_forward_dispatches_packed_under_fast_math(self):
+        pool = _pool()
+        v_imp = Tensor(np.random.default_rng(4).normal(size=(3, 12)).astype(np.float32))
+        eager = pool(v_imp)
+        with fast_math():
+            fast = pool(v_imp)
+        assert np.allclose(eager.numpy(), fast.numpy(), atol=1e-6)
+
+    def test_dropout_falls_back_to_eager(self):
+        pool = _pool(dropout=0.5)
+        pool.train()
+        v_imp = Tensor(np.random.default_rng(5).normal(size=(4, 12)).astype(np.float32))
+        calls = []
+        original = pool.forward_eager
+        pool.forward_eager = lambda v: calls.append(1) or original(v)
+        with fast_math():
+            pool(v_imp)
+        assert calls, "training-mode dropout must use the per-expert eager path"
+        pool.eval()
+        with fast_math():
+            out = pool(v_imp)  # eval mode: dropout off, packed path fine
+        assert out.shape == (4, 4)
+
+
+class TestGateViews:
+    def _model(self, train_set, config=None):
+        config = config or ModelConfig.unit()
+        return build_model("aw_moe", config, train_set.meta, np.random.default_rng(7))
+
+    def test_views_match_separate_forwards(self, train_set):
+        model = self._model(train_set)
+        batch = train_set.batch_at(np.arange(8))
+        positive = batch["behavior_mask"] * (np.random.default_rng(8).random(batch["behavior_mask"].shape) > 0.3)
+        anchor_ref = model.gate.forward(batch)
+        positive_ref = model.gate.forward(batch, mask_override=positive)
+        anchor, positive_view = model.gate.forward_views(batch, [None, positive])
+        assert np.allclose(anchor.numpy(), anchor_ref.numpy(), atol=1e-6)
+        assert np.allclose(positive_view.numpy(), positive_ref.numpy(), atol=1e-6)
+
+    @pytest.mark.parametrize("gate_unit,activation_unit", [(True, False), (False, True), (False, False)])
+    def test_views_match_for_ablation_variants(self, train_set, gate_unit, activation_unit):
+        config = ModelConfig.unit().with_gate_ablation(gate_unit, activation_unit)
+        model = self._model(train_set, config)
+        batch = train_set.batch_at(np.arange(8))
+        positive = batch["behavior_mask"] * (np.random.default_rng(9).random(batch["behavior_mask"].shape) > 0.3)
+        anchor, view = model.gate.forward_views(batch, [None, positive])
+        assert np.allclose(anchor.numpy(), model.gate.forward(batch).numpy(), atol=1e-6)
+        assert np.allclose(
+            view.numpy(), model.gate.forward(batch, mask_override=positive).numpy(), atol=1e-6
+        )
+
+    def test_forward_with_gate_views_logits_match(self, train_set):
+        model = self._model(train_set)
+        batch = train_set.batch_at(np.arange(8))
+        positive = batch["behavior_mask"].copy()
+        logits_ref, gate_ref = model.forward_with_gate(batch)
+        logits, gates = model.forward_with_gate_views(batch, [positive])
+        assert len(gates) == 2
+        assert np.allclose(logits.numpy(), logits_ref.numpy(), atol=1e-6)
+        assert np.allclose(gates[0].numpy(), gate_ref.numpy(), atol=1e-6)
+
+
+def _run_steps(train_set, fast, steps=6, augmentation="mask", seed=11):
+    bank = SeedBank(seed)
+    config = TrainConfig(
+        epochs=1,
+        batch_size=16,
+        learning_rate=1e-3,
+        contrastive=True,
+        augmentation=augmentation,
+        fast_path=fast,
+    )
+    model = build_model("aw_moe", ModelConfig.unit(), train_set.meta, bank.child("model"))
+    optimizers = build_optimizers(model, config)
+    strategy = build_strategy(config)
+    cl_rng = bank.child("cl")
+    arena = GradArena() if fast else None
+    model.train()
+    losses = []
+    batches = iterate_batches(train_set, 16, rng=bank.child("shuffle"), drop_last=True)
+    for i, batch in enumerate(batches):
+        if i == steps:
+            break
+        metrics = train_step(model, batch, config, optimizers, strategy, cl_rng, arena)
+        losses.append(metrics["loss"])
+    return model, losses
+
+
+class TestTrainStepParity:
+    @pytest.mark.parametrize("augmentation", ["mask", "crop", "reorder"])
+    def test_fast_matches_eager_losses_and_params(self, train_set, augmentation):
+        eager_model, eager_losses = _run_steps(train_set, fast=False, augmentation=augmentation)
+        fast_model, fast_losses = _run_steps(train_set, fast=True, augmentation=augmentation)
+        assert np.allclose(eager_losses, fast_losses, rtol=1e-4, atol=1e-5)
+        eager_params = dict(eager_model.named_parameters())
+        for name, param in fast_model.named_parameters():
+            assert np.allclose(
+                eager_params[name].data, param.data, rtol=1e-3, atol=1e-5
+            ), name
+
+    def test_reference_mode_is_deterministic(self, train_set):
+        """fast_path=False is the bitwise-reproducible reference trajectory."""
+        _, first = _run_steps(train_set, fast=False)
+        _, second = _run_steps(train_set, fast=False)
+        assert first == second
+
+    def test_fast_mode_is_deterministic(self, train_set):
+        _, first = _run_steps(train_set, fast=True)
+        _, second = _run_steps(train_set, fast=True)
+        assert first == second
+
+    def test_non_contrastive_parity(self, train_set):
+        results = {}
+        for fast in (False, True):
+            bank = SeedBank(13)
+            config = TrainConfig(epochs=1, batch_size=16, learning_rate=1e-3, fast_path=fast)
+            model = build_model("aw_moe", ModelConfig.unit(), train_set.meta, bank.child("m"))
+            optimizers = build_optimizers(model, config)
+            strategy = build_strategy(config)
+            arena = GradArena() if fast else None
+            model.train()
+            batch = train_set.batch_at(np.arange(16))
+            losses = [
+                train_step(model, batch, config, optimizers, strategy, None, arena)["loss"]
+                for _ in range(4)
+            ]
+            results[fast] = losses
+        assert np.allclose(results[False], results[True], rtol=1e-4, atol=1e-5)
+
+    def test_sparse_gate_fast_path_keeps_top_k(self, train_set):
+        """The sparse extension's anchor gate must stay top-K sparsified on
+        the shared-trunk fast path (it both weights the experts and anchors
+        the contrastive loss, exactly as in eager training)."""
+        from repro.core.extensions import SparseGatedAWMoE
+
+        model = SparseGatedAWMoE(
+            ModelConfig.unit(), train_set.meta, np.random.default_rng(19), top_k=1
+        )
+        batch = train_set.batch_at(np.arange(8))
+        positive = batch["behavior_mask"].copy()
+        logits_ref, gate_ref = model.forward_with_gate(batch)
+        logits, gates = model.forward_with_gate_views(batch, [positive])
+        k = ModelConfig.unit().num_experts
+        assert np.all((gates[0].numpy() == 0.0).sum(axis=1) == k - 1)
+        assert np.allclose(gates[0].numpy(), gate_ref.numpy(), atol=1e-6)
+        assert np.allclose(logits.numpy(), logits_ref.numpy(), atol=1e-6)
+        # The positive view stays dense, matching eager gate_vector().
+        assert np.allclose(
+            gates[1].numpy(), model.gate_vector(batch, mask_override=positive).numpy(),
+            atol=1e-6,
+        )
+
+    def test_baseline_without_gate_views_still_trains_fast(self, train_set):
+        """Models lacking forward_with_gate_views run fast_path without the
+        shared-trunk contrastive branch (packed experts + fused kernels only)."""
+        bank = SeedBank(17)
+        config = TrainConfig(epochs=1, batch_size=16, learning_rate=1e-3, fast_path=True)
+        model = build_model("dnn", ModelConfig.unit(), train_set.meta, bank.child("m"))
+        optimizers = build_optimizers(model, config)
+        strategy = build_strategy(config)
+        batch = train_set.batch_at(np.arange(16))
+        metrics = train_step(model, batch, config, optimizers, strategy, None, GradArena())
+        assert np.isfinite(metrics["loss"])

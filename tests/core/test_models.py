@@ -12,8 +12,6 @@ from repro.core import (
     train_model,
 )
 from repro.nn import bce_with_logits
-from repro.utils import SeedBank
-
 MODEL_NAMES = ["dnn", "din", "category_moe", "aw_moe", "mmoe"]
 
 
@@ -117,8 +115,6 @@ class TestLearning:
         assert after < before
 
     def test_category_moe_gate_varies_by_category(self, test_set, train_set):
-        from repro.nn import no_grad
-
         model = build_model("category_moe", ModelConfig.unit(), train_set.meta, np.random.default_rng(1))
         train_model(model, train_set, TrainConfig(epochs=1, batch_size=64, learning_rate=3e-3), seed=2)
         batch = test_set.batch_at(np.arange(64))

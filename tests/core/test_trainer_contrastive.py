@@ -5,8 +5,6 @@ import pytest
 
 from repro.core import ContrastiveStrategy, ModelConfig, TrainConfig, build_model, train_model
 from repro.core.trainer import build_optimizers
-from repro.utils import RunLog
-
 
 class TestTrainConfig:
     def test_invalid_mask_prob(self):

@@ -1,7 +1,6 @@
 """Public feature-assembly API (``repro.data.features``)."""
 
 import numpy as np
-import pytest
 
 from repro.data import (
     UserState,

@@ -1,7 +1,6 @@
 """Long-tail splits and Table I statistics."""
 
 import numpy as np
-import pytest
 
 from repro.data.splits import long_tail_by_history, long_tail_elderly, standard_test_splits
 from repro.data.stats import dataset_statistics, table1_rows

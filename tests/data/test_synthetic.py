@@ -5,8 +5,6 @@ import pytest
 
 from repro.data import WorldConfig, generate_world, make_search_datasets, simulate_search_log
 from repro.data.synthetic import ARCHETYPES, build_test_dataset, build_train_dataset
-from repro.utils import SeedBank
-
 
 @pytest.fixture(scope="module")
 def world():

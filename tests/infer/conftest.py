@@ -1,6 +1,5 @@
 """Fixtures for the compiled-inference tests: trained/untrained model twins."""
 
-import numpy as np
 import pytest
 
 from repro.core import ModelConfig, TrainConfig, build_model, train_model

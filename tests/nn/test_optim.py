@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import SGD, Adam, AdamW, CosineLR, Parameter, StepLR, Tensor, clip_grad_norm
+from repro.nn import SGD, Adam, AdamW, CosineLR, Parameter, StepLR, clip_grad_norm
 
 
 def quadratic_step(optimizer, param, target=0.0):

@@ -1,6 +1,5 @@
 """Shared fixtures for the online-loop tests: a trained model + fleet parts."""
 
-import numpy as np
 import pytest
 
 from repro.core import ModelConfig, TrainConfig, build_model, train_model

@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.core import ModelConfig, build_model
-from repro.serving import ManualClock, MetricsSink, MicroBatcher, SearchEngine, SessionCache
+from repro.serving import ManualClock, MicroBatcher, SearchEngine, SessionCache
 
 #: Repeated (user, query-category) traffic: users 3 and 5 re-issue sessions.
 TRAFFIC = [(3, 2), (5, 1), (3, 2), (9, 0), (5, 1), (3, 4), (3, 2), (11, 2)]

@@ -1,7 +1,6 @@
 """Session cache: LRU eviction, hit/miss accounting, invalidation."""
 
 import numpy as np
-import pytest
 
 from repro.serving import CacheStats, LRUCache, SessionCache
 

@@ -18,7 +18,9 @@ from repro.serving import (
 
 class TestZipfLoadGenerator:
     def test_deterministic_given_seed(self, unit_world):
-        make = lambda: ZipfLoadGenerator(np.random.default_rng(4), world=unit_world).generate(50)
+        def make():
+            return ZipfLoadGenerator(np.random.default_rng(4), world=unit_world).generate(50)
+
         assert make() == make()
 
     def test_arrival_times_monotone(self, unit_world):

@@ -22,6 +22,11 @@ Subpackages
     The compiled inference path: models traced into flat plans of fused
     NumPy kernels over packed weights, executing allocation-free in a
     preallocated buffer arena (what the serving fleet actually runs).
+``repro.retrieval``
+    The two-stage retrieval cascade: IVF-flat ANN index over the model's
+    item vectors plus a build-time-calibrated linear prefilter, keeping
+    serving sublinear in catalog size (with an exhaustive-parity oracle
+    mode and a canary retrieval probe).
 ``repro.serving``
     Search-engine / serving-cost / A/B-test simulators (§III-F, §IV-I).
 ``repro.online``

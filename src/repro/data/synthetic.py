@@ -130,6 +130,27 @@ class WorldConfig:
             max_seq_len=30,
         )
 
+    @staticmethod
+    def large_catalog(num_items: int = 120_000, num_categories: int = 12) -> "WorldConfig":
+        """Catalog-dominated scale for the retrieval-cascade benchmarks.
+
+        Items outnumber users by orders of magnitude (the e-commerce regime
+        the cascade exists for): ~10k items per category, so exhaustive
+        full-model scoring of one query category is visibly linear while
+        the ANN index + prefilter stays sublinear.  User count and history
+        length stay modest — the cost under test is the catalog scan, not
+        behaviour encoding.
+        """
+        return WorldConfig(
+            num_users=3000,
+            num_items=num_items,
+            num_categories=num_categories,
+            brands_per_category=40,
+            num_shops=2000,
+            max_seq_len=12,
+            items_per_session=12,
+        )
+
 
 @dataclass
 class World:

@@ -9,6 +9,15 @@ production minus a small tolerance; a corrupted or diverged candidate (the
 online loop's worst failure mode: silently degrading the ranker with noisy
 click feedback) is rejected and production keeps serving.
 
+Fleets that serve through the retrieval cascade (:mod:`repro.retrieval`)
+additionally attach a :class:`~repro.retrieval.RetrievalProbe`: the swap
+rebuilds the ANN item index from the candidate's embedding table, and an
+embedding-table corruption can leave ranking metrics intact (the ranker
+still orders whatever it is given) while retrieval quietly stops surfacing
+the right candidates.  The probe rebuilds the candidate's cascade, measures
+its recall against its own exhaustive-parity oracle, and blocks promotion
+below the configured floor.
+
 The replay scores through the **compiled inference path** (:mod:`repro.
 infer`) — the same plan the fleet will execute after promotion — so the
 canary gates what production actually serves, compilation included; a bug
@@ -19,7 +28,7 @@ registered compiler replay eagerly, matching their serving fallback.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.ranking_model import RankingModel
 from repro.data.dataset import RankingDataset
@@ -27,6 +36,9 @@ from repro.eval.auc import session_auc
 from repro.eval.evaluator import predict_scores
 from repro.eval.ndcg import session_ndcg
 from repro.infer import CompileError, compile_model
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.retrieval import RetrievalProbe
 
 __all__ = ["CanaryReport", "CanaryGate"]
 
@@ -63,6 +75,11 @@ class CanaryGate:
         Replay through the compiled inference plan (default) — the path the
         fleet serves — falling back to eager for uncompilable models.
         ``False`` forces the eager forward (used by parity tests).
+    retrieval_probe:
+        Optional :class:`~repro.retrieval.RetrievalProbe`; when set, the
+        candidate must also keep cascade retrieval recall above the probe's
+        floor (checked on the candidate alone — the oracle is the
+        candidate's own exhaustive cascade, so production is not involved).
     """
 
     _METRIC_FNS = {"auc": session_auc, "ndcg": session_ndcg}
@@ -72,6 +89,7 @@ class CanaryGate:
         tolerance: float = 0.005,
         metrics: Sequence[str] = ("auc", "ndcg"),
         use_compiled: bool = True,
+        retrieval_probe: Optional["RetrievalProbe"] = None,
     ) -> None:
         if tolerance < 0:
             raise ValueError(f"tolerance must be >= 0, got {tolerance}")
@@ -83,6 +101,7 @@ class CanaryGate:
         self.tolerance = float(tolerance)
         self.metrics = tuple(metrics)
         self.use_compiled = bool(use_compiled)
+        self.retrieval_probe = retrieval_probe
 
     def _scorer(self, model: RankingModel):
         """The object whose ``predict_proba`` the replay runs — the compiled
@@ -103,7 +122,10 @@ class CanaryGate:
 
     def evaluate(self, model: RankingModel, holdout: RankingDataset) -> Dict[str, float]:
         """The gated session metrics of ``model`` on ``holdout``."""
-        scores = predict_scores(self._scorer(model), holdout)
+        return self._evaluate_with(self._scorer(model), holdout)
+
+    def _evaluate_with(self, scorer, holdout: RankingDataset) -> Dict[str, float]:
+        scores = predict_scores(scorer, holdout)
         return {
             name: self._METRIC_FNS[name](scores, holdout.label, holdout.session_id)
             for name in self.metrics
@@ -118,13 +140,34 @@ class CanaryGate:
         """Replay ``holdout`` through both models and compare.
 
         With no production model (first deployment) the candidate passes by
-        default — there is nothing it could regress against.
+        default on the ranking metrics — there is nothing it could regress
+        against — but a configured retrieval probe still applies: a
+        first-deployment index built from a broken table must not serve.
         """
-        candidate_metrics = self.evaluate(candidate, holdout)
-        if production is None:
-            return CanaryReport(passed=True, candidate=candidate_metrics, production=None)
-        production_metrics = self.evaluate(production, holdout)
+        # One compile per judgement: weights cannot change mid-call, so the
+        # replay and the retrieval probe share the same scoring surface.
+        candidate_scorer = self._scorer(candidate)
+        candidate_metrics = self._evaluate_with(candidate_scorer, holdout)
         reasons: List[str] = []
+        if self.retrieval_probe is not None:
+            # The probe's cascade build scores through the same compiled
+            # surface the fleet's swap will rebuild from, so the canary
+            # gates the retrieval stack production would actually serve.
+            ok, recall = self.retrieval_probe.check(candidate, scorer=candidate_scorer)
+            candidate_metrics["retrieval_recall"] = recall
+            if not ok:
+                reasons.append(
+                    f"retrieval recall collapsed: {recall:.4f} < "
+                    f"{self.retrieval_probe.min_recall} (cascade vs exhaustive oracle)"
+                )
+        if production is None:
+            return CanaryReport(
+                passed=not reasons,
+                candidate=candidate_metrics,
+                production=None,
+                reasons=tuple(reasons),
+            )
+        production_metrics = self.evaluate(production, holdout)
         for name in self.metrics:
             floor = production_metrics[name] - self.tolerance
             if candidate_metrics[name] < floor:

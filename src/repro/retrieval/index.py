@@ -1,0 +1,250 @@
+"""IVF-flat ANN index over the serving model's item-embedding table.
+
+Production candidate generators do not scan the catalog: they keep an
+inverted-file (IVF) index whose coarse quantizer maps a query vector onto a
+few k-means partitions, scan only those partitions' item vectors, and return
+the best matches.  This module is that structure in vectorized NumPy:
+
+* items are first partitioned **by category** (search retrieval is
+  category-constrained, exactly like the production candidate generator the
+  paper's Fig. 6 sits behind), then each category is split into
+  ``clusters_per_partition`` k-means cells over the item vectors;
+* every category stores one **contiguous float32 slab** of its item vectors,
+  ordered by cell, so probing a cell is a contiguous-slice GEMV — no gather,
+  no per-item Python work;
+* ``search`` scores the probed cells' rows in one shot and selects the top-N
+  via ``np.argpartition`` (O(rows) instead of a full sort);
+* ``nprobe`` trades recall for speed: probe few cells for sublinear scans,
+  or pass ``"all"`` to scan the whole category — the **exact** brute-force
+  result, which is the parity/oracle mode of the retrieval cascade
+  (:mod:`repro.retrieval.cascade`).
+
+The index is a *weight snapshot*, exactly like an
+:class:`~repro.infer.plan.InferencePlan`: it copies the item vectors at
+build time and is rebuilt from the new snapshot on every model hot-swap
+(:meth:`repro.serving.engine.SearchEngine.set_model`), so retrieval can
+never serve embeddings of a model that is no longer scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = ["ItemIndex", "kmeans"]
+
+
+def kmeans(
+    vectors: np.ndarray,
+    num_clusters: int,
+    rng: np.random.Generator,
+    iterations: int = 8,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Plain vectorized Lloyd's k-means: ``(centroids, assignments)``.
+
+    Deterministic given ``rng``.  Distances use the expanded form
+    ``||x||^2 - 2 x.c + ||c||^2`` so each iteration is one GEMM over the
+    partition.  Clusters that empty out are re-seeded to the point farthest
+    from its centroid, keeping every cell non-degenerate.
+    """
+    n = vectors.shape[0]
+    num_clusters = int(min(max(num_clusters, 1), n))
+    centroids = vectors[rng.choice(n, size=num_clusters, replace=False)].copy()
+    x_sq = (vectors**2).sum(axis=1)
+    assignments = np.zeros(n, dtype=np.int64)
+    for _ in range(iterations):
+        # (N, K) squared distances without materializing differences.
+        dists = x_sq[:, None] - 2.0 * (vectors @ centroids.T) + (centroids**2).sum(axis=1)
+        assignments = dists.argmin(axis=1)
+        # Each point's distance to its own centroid, maintained across the
+        # reseeding loop so two empty clusters in one iteration cannot both
+        # steal the same farthest point (which would leave one still empty
+        # with a duplicate centroid).
+        own_dist = dists[np.arange(n), assignments].copy()
+        for k in range(num_clusters):
+            members = assignments == k
+            if members.any():
+                centroids[k] = vectors[members].mean(axis=0)
+            else:
+                farthest = int(own_dist.argmax())
+                centroids[k] = vectors[farthest]
+                assignments[farthest] = k
+                own_dist[farthest] = -np.inf
+    return centroids, assignments
+
+
+@dataclass
+class _Partition:
+    """One category's inverted file: cell-ordered slab + coarse centroids."""
+
+    slab: np.ndarray  # (members, D) float32, C-contiguous, ordered by cell
+    ids: np.ndarray  # (members,) 0-based item ids, same order as slab rows
+    centroids: np.ndarray  # (cells, D) float32
+    offsets: np.ndarray  # (cells + 1,) row ranges of each cell in the slab
+
+    @property
+    def size(self) -> int:
+        return int(self.ids.size)
+
+    @property
+    def num_cells(self) -> int:
+        return int(self.centroids.shape[0])
+
+
+class ItemIndex:
+    """Category-partitioned IVF-flat index over item vectors.
+
+    Parameters
+    ----------
+    vectors:
+        ``(num_items, D)`` item vectors (any float dtype; stored float32).
+        Any additive per-item prior belongs *in* the vectors (the cascade
+        carries its popularity prior as a vector column scored by the
+        session weights).
+    item_category:
+        ``(num_items,)`` 0-based category of every item.
+    num_categories:
+        Total category count (empty categories get empty partitions).
+    clusters_per_partition:
+        IVF cells per category; defaults to ``ceil(sqrt(members))`` — the
+        classic IVF sizing that balances coarse and fine scan costs.
+    seed:
+        Seeds the k-means of every partition; two builds from the same
+        snapshot are bitwise identical.
+    """
+
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        item_category: np.ndarray,
+        num_categories: int,
+        clusters_per_partition: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim != 2:
+            raise ValueError(f"vectors must be (num_items, D), got {vectors.shape}")
+        if item_category.shape[0] != vectors.shape[0]:
+            raise ValueError("item_category length must match vectors")
+        self.dim = int(vectors.shape[1])
+        self.num_items = int(vectors.shape[0])
+        self._partitions: List[_Partition] = []
+        for cat in range(int(num_categories)):
+            members = np.flatnonzero(item_category == cat)
+            self._partitions.append(
+                self._build_partition(vectors, members, clusters_per_partition, seed, cat)
+            )
+
+    @staticmethod
+    def _build_partition(
+        vectors: np.ndarray,
+        members: np.ndarray,
+        clusters_per_partition: Optional[int],
+        seed: int,
+        cat: int,
+    ) -> _Partition:
+        if members.size == 0:
+            empty = np.empty((0, vectors.shape[1]), dtype=np.float32)
+            return _Partition(
+                slab=empty,
+                ids=members.astype(np.int64),
+                centroids=empty.copy(),
+                offsets=np.zeros(1, dtype=np.int64),
+            )
+        cells = (
+            int(np.ceil(np.sqrt(members.size)))
+            if clusters_per_partition is None
+            else int(clusters_per_partition)
+        )
+        member_vectors = vectors[members]
+        rng = np.random.default_rng(np.random.SeedSequence([seed, cat]))
+        centroids, assignments = kmeans(member_vectors, cells, rng)
+        # Cell-order the slab (stable so equal assignments keep id order,
+        # making builds reproducible and ties deterministic downstream).
+        order = np.argsort(assignments, kind="stable")
+        counts = np.bincount(assignments, minlength=centroids.shape[0])
+        offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        return _Partition(
+            slab=np.ascontiguousarray(member_vectors[order]),
+            ids=members[order].astype(np.int64),
+            centroids=np.ascontiguousarray(centroids),
+            offsets=offsets,
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def partition_size(self, category: int) -> int:
+        return self._partitions[category].size
+
+    def partition_ids(self, category: int) -> np.ndarray:
+        """All item ids of one category (index order, copy)."""
+        return self._partitions[category].ids.copy()
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by slabs + centroids (the index's resident set)."""
+        return sum(p.slab.nbytes + p.centroids.nbytes for p in self._partitions)
+
+    def stats(self) -> dict:
+        sizes = [p.size for p in self._partitions]
+        return {
+            "num_items": self.num_items,
+            "dim": self.dim,
+            "partitions": len(self._partitions),
+            "cells": sum(p.num_cells for p in self._partitions),
+            "largest_partition": max(sizes) if sizes else 0,
+            "nbytes": self.nbytes,
+        }
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: np.ndarray,
+        category: int,
+        topn: int,
+        nprobe: Union[int, str] = 8,
+    ) -> np.ndarray:
+        """Top-``topn`` item ids of ``category`` by ``<query, x>``.
+
+        ``nprobe`` cells are scanned (``"all"`` scans the whole partition —
+        exact brute force).  Returns 0-based ids in **ascending id order**:
+        the caller re-ranks with a real scorer, and a canonical order makes
+        candidate sets reproducible and tie-breaks deterministic.
+        """
+        part = self._partitions[category]
+        if part.size == 0:
+            return np.empty(0, dtype=np.int64)
+        query = np.asarray(query, dtype=np.float32)
+        probe_all = nprobe == "all" or int(nprobe) >= part.num_cells
+        if probe_all:
+            scores = part.slab @ query
+            ids = part.ids
+        else:
+            nprobe = int(nprobe)
+            if nprobe < 1:
+                raise ValueError(f"nprobe must be >= 1 or 'all', got {nprobe}")
+            coarse = part.centroids @ query
+            probed = np.argpartition(-coarse, nprobe - 1)[:nprobe]
+            spans = [
+                (int(part.offsets[cell]), int(part.offsets[cell + 1])) for cell in probed
+            ]
+            rows = sum(stop - start for start, stop in spans)
+            scores = np.empty(rows, dtype=np.float32)
+            ids = np.empty(rows, dtype=np.int64)
+            cursor = 0
+            for start, stop in spans:
+                width = stop - start
+                # Contiguous-slice GEMV: the slab is cell-ordered, so each
+                # probed cell is one BLAS call over its rows.
+                np.matmul(part.slab[start:stop], query, out=scores[cursor : cursor + width])
+                ids[cursor : cursor + width] = part.ids[start:stop]
+                cursor += width
+        if topn >= ids.size:
+            return np.sort(ids.copy())
+        keep = np.argpartition(-scores, topn - 1)[:topn]
+        return np.sort(ids[keep])

@@ -11,7 +11,8 @@ high-throughput subsystem::
                                                           │
                                 metrics sink (metrics) ◄──┘ QPS / p99 / hits
 
-* :mod:`~repro.serving.engine` — retrieval, feature assembly, scoring;
+* :mod:`~repro.serving.engine` — retrieval (the :mod:`repro.retrieval`
+  ANN + prefilter cascade on large catalogs), feature assembly, scoring;
 * :mod:`~repro.serving.batcher` — size/deadline micro-batching with one
   gate evaluation per session (§III-F1);
 * :mod:`~repro.serving.cache` — LRU session cache for gate vectors and
@@ -41,15 +42,22 @@ from repro.serving.batcher import MicroBatcher, PreparedQuery
 from repro.serving.cache import CacheStats, LRUCache, SessionCache
 from repro.serving.cluster import ShardedCluster, ShardWorker, shard_for_user
 from repro.serving.cost import (
+    CascadeCostReport,
     GateCostReport,
     compare_gate_strategies,
+    compare_retrieval_strategies,
     gate_network_flops,
     mlp_flops,
     model_flops,
 )
 from repro.serving.engine import RankedList, SearchEngine
 from repro.serving.loadgen import TrafficEvent, ZipfLoadGenerator, replay
-from repro.serving.metrics import ManualClock, MetricsSink, latency_percentile
+from repro.serving.metrics import (
+    ManualClock,
+    MetricsSink,
+    latency_percentile,
+    sorted_percentile,
+)
 
 __all__ = [
     "ABTestResult",
@@ -62,8 +70,10 @@ __all__ = [
     "ShardedCluster",
     "ShardWorker",
     "shard_for_user",
+    "CascadeCostReport",
     "GateCostReport",
     "compare_gate_strategies",
+    "compare_retrieval_strategies",
     "gate_network_flops",
     "mlp_flops",
     "model_flops",
@@ -75,4 +85,5 @@ __all__ = [
     "ManualClock",
     "MetricsSink",
     "latency_percentile",
+    "sorted_percentile",
 ]

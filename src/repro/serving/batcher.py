@@ -50,6 +50,12 @@ class PreparedQuery:
     #: advances before the flush (a model hot-swap), the gate is stale and
     #: is re-resolved against the new model instead of being applied.
     gate_generation: int = 0
+    #: The retrieval cascade the candidates came from (``None`` without
+    #: one).  Candidates are snapshot state exactly like gate vectors: if
+    #: the engine's cascade is swapped before the flush, these ids were
+    #: retrieved against embeddings the scoring model no longer owns and
+    #: must be re-retrieved.
+    cascade: Optional[object] = None
 
     @property
     def num_candidates(self) -> int:
@@ -119,13 +125,24 @@ class MicroBatcher:
             if behavior is None:
                 behavior = self.engine.encode_user_behavior(user)
                 self.cache.put_behavior(user, behavior)
-        candidates = self.engine.retrieve(query_category)
-        batch = self.engine.build_batch(user, query_category, candidates, behavior=behavior)
+        # Gate resolution happens *before* retrieval: a cascade-enabled
+        # engine scores retrieval through the same §III-F1 session gate, so
+        # a cached vector saves the cascade its own gate evaluation — and on
+        # a cache miss the vector the cascade computes is cached right here,
+        # so neither the flush nor a later query evaluates this session's
+        # gate again.
         gate = None
         generation = 0
         if use_gate and self.cache is not None:
             gate = self.cache.get_gate(user, query_category)
             generation = self.cache.generation
+        if use_gate and gate is None and self.engine.cascade is not None:
+            gate = self.engine.cascade.resolve_gate(user, query_category)
+            if gate is not None and self.cache is not None:
+                self.cache.put_gate(user, query_category, gate)
+                generation = self.cache.generation
+        candidates = self.engine.retrieve(query_category, user=user, gate=gate)
+        batch = self.engine.build_batch(user, query_category, candidates, behavior=behavior)
         self._pending.append(
             PreparedQuery(
                 user=user,
@@ -135,6 +152,7 @@ class MicroBatcher:
                 gate=gate,
                 enqueue_time=now,
                 gate_generation=generation,
+                cascade=self.engine.cascade,
             )
         )
         if len(self._pending) >= self.max_batch_size:
@@ -178,6 +196,20 @@ class MicroBatcher:
             return []
         pending, self._pending = self._pending, []
         keys = pending[0].batch.keys()
+
+        # Stale-retrieval guard: a model swap between submit and flush also
+        # swaps the engine's cascade; candidates retrieved from the old
+        # snapshot were chosen against embeddings the scoring model no
+        # longer owns, so they are re-retrieved (and their features
+        # reassembled) against the current one.  The sanctioned swap path
+        # drains first, so this fires only on a swap that skipped the drain
+        # — the retrieval analogue of the stale-gate guard below.
+        for q in pending:
+            if q.cascade is not self.engine.cascade:
+                q.candidates = self.engine.retrieve(q.query_category, user=q.user)
+                q.batch = self.engine.build_batch(q.user, q.query_category, q.candidates)
+                q.gate = None
+                q.cascade = self.engine.cascade
 
         # Stale-gate guard: a model swap between submit and flush bumps the
         # cache generation; any gate resolved under an older generation was

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.ranking_model import RankingModel
 from repro.data.synthetic import World
+from repro.retrieval import CascadeConfig
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import SessionCache
 from repro.serving.engine import RankedList, SearchEngine
@@ -72,6 +73,7 @@ class ShardedCluster:
         candidates_per_query: Optional[int] = None,
         clock: Callable[[], float] = time.perf_counter,
         compile: bool = True,
+        cascade: Optional[CascadeConfig] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -82,6 +84,11 @@ class ShardedCluster:
         self.control = MetricsSink(clock=clock)
         bank = SeedBank(seed)
         self.workers: List[ShardWorker] = []
+        # One cascade build for the whole fleet: shard 0 builds it, every
+        # other shard gets a worker view (shared immutable snapshot, own
+        # prefilter scratch) — probe pass, calibration, and k-means are paid
+        # once, not per shard.
+        shared_cascade = None
         for shard_id in range(self.num_shards):
             engine = SearchEngine(
                 world,
@@ -89,7 +96,13 @@ class ShardedCluster:
                 bank.child(f"shard-{shard_id}"),
                 candidates_per_query=candidates_per_query,
                 compile=compile,
+                cascade=cascade,
+                prebuilt_cascade=(
+                    shared_cascade.worker_view() if shared_cascade is not None else None
+                ),
             )
+            if cascade is not None and shared_cascade is None:
+                shared_cascade = engine.cascade
             cache = SessionCache(cache_capacity)
             metrics = MetricsSink(clock=clock)
             batcher = MicroBatcher(
@@ -158,22 +171,42 @@ class ShardedCluster:
         pending query is scored by the *old* model's plan — a flush is one
         plan execution, so no batch can mix versions or run a stale plan;
         (2) recompile and switch the engine's model+plan together
-        (:meth:`SearchEngine.set_model` assigns them atomically); (3)
-        invalidate the session cache's gate vectors and bump its generation,
-        so no gate computed by the old plan can ever be applied under the
-        new one (the batcher additionally re-resolves any gate whose
-        generation went stale between submit and flush).
+        (:meth:`SearchEngine.set_model` assigns them atomically), which —
+        when the fleet runs the retrieval cascade — also rebuilds the ANN
+        item index from the *new* weight snapshot and swaps it in the same
+        assignment, so no post-swap query can retrieve against the old
+        model's embeddings; (3) invalidate the session cache's gate vectors
+        and bump its generation, so no gate computed by the old plan can
+        ever be applied under the new one (the batcher additionally
+        re-resolves any gate whose generation went stale between submit and
+        flush).
 
-        Each shard compiles its own plan: plans own mutable scratch buffers,
-        so they are per-worker state exactly like caches and RNG streams.
+        Each shard compiles its own plan: plans own mutable scratch
+        buffers, so they are per-worker state exactly like caches and RNG
+        streams.  The cascade's expensive build output (probe pass,
+        calibration, index slabs) is an *immutable* snapshot, so it is
+        built once — by the first shard's swap — and every other shard
+        receives a :meth:`~repro.retrieval.RetrievalCascade.worker_view`
+        sharing the snapshot with its own prefilter scratch.
 
         Returns the drained results (old-version rankings), which callers
         serving live traffic should still deliver.
         """
         drained: List[RankedList] = []
-        for worker in self.workers:
+        shared_cascade = None
+        for index, worker in enumerate(self.workers):
             drained.extend(worker.batcher.flush())
-            worker.engine.set_model(model, version)
+            if index == 0:
+                worker.engine.set_model(model, version)
+                shared_cascade = worker.engine.cascade  # None without a cascade config
+            else:
+                worker.engine.set_model(
+                    model,
+                    version,
+                    cascade=(
+                        shared_cascade.worker_view() if shared_cascade is not None else None
+                    ),
+                )
             worker.cache.invalidate_all()
         self.control.record_swap()
         return drained

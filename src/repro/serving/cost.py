@@ -1,23 +1,40 @@
-"""Serving-cost model for the gate-network optimization (paper §III-F1).
+"""Serving-cost models for the deployed pipeline (paper §III-F).
 
-The paper's initial design fed the *target item* into the gate network, so
-the gate had to be recomputed for every candidate item in a session; the
-deployed design feeds only user/query-level features, so one gate computation
-serves all candidates — "> 10x saving in computational resource and latency".
+Two cost comparisons live here, both counting multiply-accumulate FLOPs
+from the actual layer shapes of a :class:`repro.core.config.ModelConfig`:
 
-This module counts multiply-accumulate FLOPs from the actual layer shapes of
-a :class:`repro.core.config.ModelConfig` and reproduces that comparison.
+* the **gate optimization** (§III-F1): the paper's initial design fed the
+  *target item* into the gate network, so the gate had to be recomputed for
+  every candidate item in a session; the deployed design feeds only
+  user/query-level features, so one gate computation serves all candidates
+  — "> 10x saving in computational resource and latency";
+* the **retrieval cascade** (the stage in front of the ranker in Fig. 6):
+  exhaustively scoring a category with the full model versus probing the
+  ANN item index, prefiltering, and ranking only the survivors
+  (:mod:`repro.retrieval`) — the factor that keeps serving cost sublinear
+  in catalog size.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.config import ModelConfig
 from repro.data.schema import DatasetMeta
 
-__all__ = ["GateCostReport", "mlp_flops", "gate_network_flops", "model_flops", "compare_gate_strategies"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.retrieval import CascadeConfig
+
+__all__ = [
+    "GateCostReport",
+    "CascadeCostReport",
+    "mlp_flops",
+    "gate_network_flops",
+    "model_flops",
+    "compare_gate_strategies",
+    "compare_retrieval_strategies",
+]
 
 
 def mlp_flops(in_dim: int, layer_sizes: Sequence[int]) -> int:
@@ -114,4 +131,83 @@ def compare_gate_strategies(
         per_session_total=model_flops(
             config, meta, seq_len, gate_per_item=False, items=items_per_session
         ),
+    )
+
+
+@dataclass(frozen=True)
+class CascadeCostReport:
+    """Per-query cost comparison: exhaustive full-model scoring of one
+    category versus the two-stage retrieval cascade in front of it."""
+
+    category_size: int
+    survivors: int
+    stage1_flops: int  # ANN probe: coarse centroids + probed slab rows
+    prefilter_flops: int  # linear re-score of the N retrieved candidates
+    exhaustive_flops: int  # full model over every category member
+    cascade_flops: int  # stage 1 + stage 2 + full model over survivors
+
+    @property
+    def ranker_saving_factor(self) -> float:
+        """How many times fewer full-model candidates the cascade scores."""
+        return self.category_size / max(self.survivors, 1)
+
+    @property
+    def total_saving_factor(self) -> float:
+        """End-to-end per-query FLOP ratio (exhaustive / cascade)."""
+        return self.exhaustive_flops / max(self.cascade_flops, 1)
+
+    def as_dict(self) -> dict:
+        return {
+            "category_size": self.category_size,
+            "survivors": self.survivors,
+            "stage1_flops": self.stage1_flops,
+            "prefilter_flops": self.prefilter_flops,
+            "exhaustive_flops": self.exhaustive_flops,
+            "cascade_flops": self.cascade_flops,
+            "ranker_saving_factor": self.ranker_saving_factor,
+            "total_saving_factor": self.total_saving_factor,
+        }
+
+
+def compare_retrieval_strategies(
+    config: ModelConfig,
+    meta: DatasetMeta,
+    seq_len: int,
+    category_size: int,
+    cascade: "CascadeConfig",
+    vector_dim: int,
+    num_cells: int | None = None,
+) -> CascadeCostReport:
+    """Per-query FLOPs: exhaustive category scan vs the retrieval cascade.
+
+    ``vector_dim`` is the cascade's augmented item-vector width and
+    ``num_cells`` the category's IVF cell count (defaults to the index's
+    ``ceil(sqrt(members))`` sizing).  Both pipelines pay one session-gate
+    evaluation (§III-F1); the difference is how many candidates reach the
+    per-item input network + experts.
+    """
+    if category_size < 1:
+        raise ValueError("category_size must be >= 1")
+    cells = int(num_cells) if num_cells else int(-(-(category_size**0.5) // 1))
+    if cascade.nprobe == "all":
+        probed_rows = category_size
+        coarse = 0
+    else:
+        probed_rows = min(category_size, -(-(category_size * int(cascade.nprobe)) // cells))
+        coarse = cells
+    # Mirrors RetrievalCascade.retrieve: exhaustive-parity mode ignores the
+    # retrieval depth and passes the whole category through.
+    retrieved = category_size if cascade.is_exhaustive else min(cascade.retrieve_n, category_size)
+    survivors = retrieved if cascade.prune is None else min(cascade.prune, retrieved)
+    per_item = input_network_flops(config, meta, seq_len) + expert_flops(config, meta)
+    gate = gate_network_flops(config, meta, seq_len)
+    stage1 = 2 * vector_dim * (coarse + probed_rows)
+    prefilter = 2 * vector_dim * retrieved + 2 * retrieved
+    return CascadeCostReport(
+        category_size=category_size,
+        survivors=survivors,
+        stage1_flops=stage1,
+        prefilter_flops=prefilter,
+        exhaustive_flops=category_size * per_item + gate,
+        cascade_flops=stage1 + prefilter + survivors * per_item + gate,
     )

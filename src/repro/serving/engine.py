@@ -1,10 +1,16 @@
 """Search-engine serving simulator (paper §III-F2, Fig. 6).
 
 Models the online loop: a user issues a query → the engine retrieves
-candidate items (popularity-biased within the query category, like the
-production candidate generator) → the ranking model scores every candidate →
-the engine returns the ranked list.  Latency per query is measured so the
-deployment benchmark can report the per-session gate optimization end to end.
+candidate items → the ranking model scores every candidate → the engine
+returns the ranked list.  Latency per query is measured so the deployment
+benchmark can report the per-session gate optimization end to end.
+
+Retrieval has two modes: the original popularity-biased sample within the
+query category (like a non-personalized candidate generator), and — when a
+:class:`~repro.retrieval.CascadeConfig` is attached — the two-stage
+retrieval cascade of :mod:`repro.retrieval` (ANN item index + linear
+prefilter), which keeps serving cost sublinear in catalog size and is
+rebuilt from the model's weight snapshot on every hot swap.
 
 The engine exposes two scoring paths:
 
@@ -42,6 +48,7 @@ from repro.data.features import (
 from repro.data.schema import Batch
 from repro.data.synthetic import World
 from repro.infer import CompiledModel, CompileError, compile_model
+from repro.retrieval import CascadeConfig, RetrievalCascade, category_popularity_probs
 
 __all__ = ["RankedList", "SearchEngine"]
 
@@ -76,6 +83,8 @@ class SearchEngine:
         candidates_per_query: Optional[int] = None,
         model_version: Optional[str] = None,
         compile: bool = True,
+        cascade: Optional[CascadeConfig] = None,
+        prebuilt_cascade: Optional[RetrievalCascade] = None,
     ) -> None:
         self.world = world
         self._rng = rng
@@ -84,26 +93,48 @@ class SearchEngine:
             np.flatnonzero(world.item_category == cat)
             for cat in range(world.config.num_categories)
         ]
+        # Per-category popularity sampling probabilities, computed once:
+        # retrieval used to recompute ``popularity ** 0.7`` and renormalize
+        # on every query.  The cascade reuses these as its retrieval prior.
+        self._category_pop_probs = category_popularity_probs(world)
         self.queries_served = 0
         self.total_latency_ms = 0.0
         self.compile_enabled = bool(compile)
-        # set_model assigns self.model / self.compiled_model / self.model_version.
-        self.set_model(model, model_version)
+        self.cascade_config = cascade
+        # set_model assigns model / compiled_model / cascade / model_version.
+        # ``prebuilt_cascade`` lets a cluster share one cascade build across
+        # its shards (each shard receiving a worker view).
+        self.set_model(model, model_version, cascade=prebuilt_cascade)
 
     # ------------------------------------------------------------------
     # model lifecycle
     # ------------------------------------------------------------------
-    def set_model(self, model: RankingModel, version: Optional[str] = None) -> None:
+    def set_model(
+        self,
+        model: RankingModel,
+        version: Optional[str] = None,
+        cascade: Optional[RetrievalCascade] = None,
+    ) -> None:
         """Switch the serving model, recompiling its inference plan.
 
-        Compilation happens *before* anything is swapped, then model, plan,
-        and version are assigned together — a query scored after this call
-        can never see the new model with the old plan (or vice versa).
-        Callers that batch queries must drain pending work first so no flush
-        mixes versions, and must invalidate any cache holding gate vectors
-        from the old model — :meth:`repro.serving.cluster.ShardedCluster.
-        swap_model` does both.  Models with no registered compiler serve
-        through the eager forward.
+        ``cascade`` accepts a prebuilt retrieval cascade for **this model's
+        snapshot** (a :meth:`~repro.retrieval.RetrievalCascade.worker_view`
+        of a shared build — :meth:`repro.serving.cluster.ShardedCluster.
+        swap_model` builds once and hands each shard a view); when omitted
+        and a cascade config is attached, the engine builds its own.
+
+        Compilation — and, when a :class:`~repro.retrieval.CascadeConfig` is
+        attached, the rebuild of the retrieval cascade's ANN index from the
+        new model's item-embedding snapshot — happens *before* anything is
+        swapped; then model, plan, cascade, and version are assigned
+        together.  A query scored after this call can never see the new
+        model with the old plan, nor retrieve against embeddings the scoring
+        model no longer owns (stale-embedding retrieval is the cascade
+        analogue of a stale gate vector).  Callers that batch queries must
+        drain pending work first so no flush mixes versions, and must
+        invalidate any cache holding gate vectors from the old model —
+        :meth:`repro.serving.cluster.ShardedCluster.swap_model` does both.
+        Models with no registered compiler serve through the eager forward.
         """
         compiled: Optional[CompiledModel] = None
         if self.compile_enabled:
@@ -111,8 +142,27 @@ class SearchEngine:
                 compiled = compile_model(model)
             except CompileError:
                 compiled = None
+        if self.cascade_config is None:
+            cascade = None
+        elif cascade is None:
+            # The build's probe/calibration passes score through the plan
+            # just compiled (the surface the fleet will serve), avoiding a
+            # second compilation.
+            cascade = RetrievalCascade.from_model(
+                model,
+                self.world,
+                self.cascade_config,
+                self._category_pop_probs,
+                scorer=compiled if compiled is not None else model,
+            )
+        else:
+            # A prebuilt view still points at its builder's gate plan —
+            # mutable scratch that must not be shared across workers; bind
+            # this engine's own scoring surface instead.
+            cascade.bind_scorer(compiled if compiled is not None else model)
         self.model = model
         self.compiled_model = compiled
+        self.cascade = cascade
         self.model_version = version
 
     @property
@@ -123,22 +173,43 @@ class SearchEngine:
     # ------------------------------------------------------------------
     # pipeline stages
     # ------------------------------------------------------------------
-    def retrieve(self, query_category: int) -> np.ndarray:
-        """Candidate generation: popularity-biased sample within category.
+    def retrieve(
+        self,
+        query_category: int,
+        user: Optional[int] = None,
+        gate: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Candidate generation: the retrieval cascade when one is attached,
+        the popularity-biased in-category sample otherwise.
 
-        When the category holds fewer items than ``candidates_per_query``
-        the whole category is returned (no sampling, no RNG draw) — small
-        categories always expose their full inventory.
+        With a cascade (and a ``user`` to personalize for), stage 1+2 run:
+        the ANN index probes the category's IVF cells and the prefilter
+        prunes to the survivors the full model will rank — sublinear in
+        category size.  ``gate`` forwards a cached §III-F1 session-gate
+        vector (the micro-batcher passes its session-cache entry) so the
+        cascade skips its own gate evaluation.  In the cascade's
+        exhaustive-parity mode this returns every category member in
+        ascending id order, exactly like the sampling path's small-category
+        case.
+
+        Without a cascade, when the category holds fewer items than
+        ``candidates_per_query`` the whole category is returned (no
+        sampling, no RNG draw) — small categories always expose their full
+        inventory.  The sampling probabilities are precomputed per category
+        at construction, not rebuilt per query.
         """
         members = self._by_category[query_category]
         if members.size == 0:
             raise ValueError(f"category {query_category} has no items")
+        if self.cascade is not None and user is not None:
+            return self.cascade.retrieve(user, query_category, gate=gate)
         if members.size <= self.candidates_per_query:
             return members.copy()
-        weights = self.world.item_popularity[members] ** 0.7 + 1e-3
-        weights = weights / weights.sum()
         return self._rng.choice(
-            members, size=self.candidates_per_query, replace=False, p=weights
+            members,
+            size=self.candidates_per_query,
+            replace=False,
+            p=self._category_pop_probs[query_category],
         )
 
     def build_batch(
@@ -213,11 +284,19 @@ class SearchEngine:
         return self.serving_gate(row)[0]
 
     def search(self, user: int, query_category: int) -> RankedList:
-        """Serve one query end to end and record latency."""
+        """Serve one query end to end and record latency.
+
+        With a cascade attached, the session gate is resolved **once** and
+        shared by retrieval and scoring (§III-F1: the gate is a per-session
+        quantity; evaluating it per stage would pay the cost twice).
+        """
         start = time.perf_counter()
-        candidates = self.retrieve(query_category)
+        gate = None
+        if self.cascade is not None and self.supports_session_gate:
+            gate = self.cascade.resolve_gate(user, query_category)
+        candidates = self.retrieve(query_category, user=user, gate=gate)
         batch = self.build_batch(user, query_category, candidates)
-        scores = self.score_candidates(batch)
+        scores = self.score_candidates(batch, gate=gate)
         order = np.argsort(-scores, kind="stable")
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         self.record_query(elapsed_ms)

@@ -87,14 +87,29 @@ class ZipfLoadGenerator:
         self.target_qps = float(target_qps)
         self._rng = rng
         # Zipf pmf over a random permutation of users: rank 1 is hottest.
+        # Sampling inverts the CDF with a binary search — O(log U) per event
+        # instead of ``rng.choice(p=...)``'s O(U) scan, which matters once
+        # the worlds under test carry 10^5+ users/items (large-catalog
+        # benchmarks generate tens of thousands of events).
         weights = 1.0 / np.arange(1, self.num_users + 1, dtype=float) ** zipf_exponent
         self._user_probs = weights / weights.sum()
+        self._user_cdf = np.cumsum(self._user_probs)
         self._user_by_rank = rng.permutation(self.num_users)
+        # Per-user interest CDFs, built lazily: Zipf traffic touches a small
+        # head of users, so only their rows are ever materialized.
+        self._interest_cdfs: dict = {}
+
+    def _inverse_cdf(self, cdf: np.ndarray) -> int:
+        index = int(np.searchsorted(cdf, self._rng.random(), side="right"))
+        return min(index, cdf.size - 1)  # guard the u == 1.0 float edge
 
     def _sample_category(self, user: int) -> int:
         if self.world is not None:
-            interests = self.world.user_interests[user]
-            return int(self._rng.choice(self.num_categories, p=interests))
+            cdf = self._interest_cdfs.get(user)
+            if cdf is None:
+                cdf = np.cumsum(self.world.user_interests[user])
+                self._interest_cdfs[user] = cdf
+            return self._inverse_cdf(cdf)
         return int(self._rng.integers(0, self.num_categories))
 
     def events(self, count: int) -> Iterator[TrafficEvent]:
@@ -102,8 +117,7 @@ class ZipfLoadGenerator:
         now = 0.0
         for _ in range(count):
             now += float(self._rng.exponential(1.0 / self.target_qps))
-            rank = int(self._rng.choice(self.num_users, p=self._user_probs))
-            user = int(self._user_by_rank[rank])
+            user = int(self._user_by_rank[self._inverse_cdf(self._user_cdf)])
             yield TrafficEvent(time=now, user=user, query_category=self._sample_category(user))
 
     def generate(self, count: int) -> List[TrafficEvent]:

@@ -26,9 +26,9 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.serving.cache import CacheStats
-from repro.serving.cost import GateCostReport
+from repro.serving.cost import CascadeCostReport, GateCostReport
 
-__all__ = ["ManualClock", "MetricsSink", "latency_percentile"]
+__all__ = ["ManualClock", "MetricsSink", "latency_percentile", "sorted_percentile"]
 
 
 class ManualClock:
@@ -52,15 +52,24 @@ class ManualClock:
         self._now = max(self._now, float(timestamp))
 
 
-def latency_percentile(latencies_ms: Sequence[float], percentile: float) -> float:
-    """Nearest-rank percentile of recorded latencies (0.0 when empty)."""
+def sorted_percentile(sorted_values: np.ndarray, percentile: float) -> float:
+    """Nearest-rank percentile of an already-sorted array (0.0 when empty).
+
+    Factored out of :func:`latency_percentile` so a caller reading several
+    percentiles (a summary's p50/p95/p99) sorts **once** and reuses the
+    sorted array, instead of re-sorting the full latency list per quantile.
+    """
     if not 0 < percentile <= 100:
         raise ValueError(f"percentile must be in (0, 100], got {percentile}")
-    values = np.sort(np.asarray(latencies_ms, dtype=float))
-    if values.size == 0:
+    if sorted_values.size == 0:
         return 0.0
-    rank = max(int(np.ceil(percentile / 100.0 * values.size)) - 1, 0)
-    return float(values[rank])
+    rank = max(int(np.ceil(percentile / 100.0 * sorted_values.size)) - 1, 0)
+    return float(sorted_values[rank])
+
+
+def latency_percentile(latencies_ms: Sequence[float], percentile: float) -> float:
+    """Nearest-rank percentile of recorded latencies (0.0 when empty)."""
+    return sorted_percentile(np.sort(np.asarray(latencies_ms, dtype=float)), percentile)
 
 
 class MetricsSink:
@@ -79,6 +88,7 @@ class MetricsSink:
         self.canary_failures = 0
         self.log_lag = 0  # gauge: logged-but-unconsumed click sessions
         self.cost_model: Optional[GateCostReport] = None
+        self.cascade_cost: Optional[CascadeCostReport] = None
 
     # ------------------------------------------------------------------
     # recording
@@ -119,6 +129,13 @@ class MetricsSink:
         """Attach the §III-F1 FLOP cost model so cache counters translate
         into estimated computation saved (see :attr:`gate_flops_saved`)."""
         self.cost_model = report
+
+    def record_cascade_cost(self, report: CascadeCostReport) -> None:
+        """Attach the retrieval-cascade FLOP comparison (exhaustive category
+        scan vs ANN index + prefilter + survivor ranking) so the fleet
+        summary reports the sublinear-retrieval saving next to the §III-F1
+        gate saving."""
+        self.cascade_cost = report
 
     # ------------------------------------------------------------------
     # aggregates
@@ -189,18 +206,27 @@ class MetricsSink:
         merged.canary_failures = self.canary_failures + other.canary_failures
         merged.log_lag = max(self.log_lag, other.log_lag)
         merged.cost_model = self.cost_model if self.cost_model is not None else other.cost_model
+        merged.cascade_cost = (
+            self.cascade_cost if self.cascade_cost is not None else other.cascade_cost
+        )
         return merged
 
     def summary(self) -> Dict[str, object]:
-        """One JSON-serializable report of every headline metric."""
+        """One JSON-serializable report of every headline metric.
+
+        Latencies are sorted **once** per snapshot and every percentile is
+        read off the same sorted array (a three-quantile summary used to
+        sort the full list three times).
+        """
+        sorted_latencies = np.sort(np.asarray(self.latencies_ms, dtype=float))
         return {
             "queries": self.queries,
             "qps": self.qps,
             "latency_ms": {
-                "mean": float(np.mean(self.latencies_ms)) if self.latencies_ms else 0.0,
-                "p50": self.percentile(50),
-                "p95": self.percentile(95),
-                "p99": self.percentile(99),
+                "mean": float(sorted_latencies.mean()) if sorted_latencies.size else 0.0,
+                "p50": sorted_percentile(sorted_latencies, 50),
+                "p95": sorted_percentile(sorted_latencies, 95),
+                "p99": sorted_percentile(sorted_latencies, 99),
             },
             "batches": len(self.batch_sizes),
             "mean_batch_size": self.mean_batch_size,
@@ -225,5 +251,6 @@ class MetricsSink:
                 "session_saving_factor": (
                     self.cost_model.total_saving_factor if self.cost_model else None
                 ),
+                "cascade": self.cascade_cost.as_dict() if self.cascade_cost else None,
             },
         }

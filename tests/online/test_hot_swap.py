@@ -1,8 +1,10 @@
-"""Hot-swap under load: no mixed-version batches, no stale cached gates."""
+"""Hot-swap under load: no mixed-version batches, no stale cached gates,
+no stale retrieval embeddings."""
 
 import numpy as np
 import pytest
 
+from repro.retrieval import CascadeConfig
 from repro.serving import (
     ManualClock,
     MicroBatcher,
@@ -103,6 +105,88 @@ class TestSwapUnderLoad:
             np.testing.assert_allclose(ranking.scores, expected, rtol=1e-6, atol=1e-7)
 
 
+class TestCascadeSwapUnderLoad:
+    """Fleets serving through the retrieval cascade rebuild the ANN index
+    from the new weight snapshot inside the same swap that switches the
+    model and plan — a post-swap query can never retrieve against the old
+    model's embeddings."""
+
+    CASCADE = CascadeConfig(retrieve_n=10, prune=6, nprobe="all")
+
+    @pytest.fixture()
+    def cascade_cluster(self, unit_world, model_a):
+        cluster = ShardedCluster(
+            unit_world,
+            model_a,
+            num_shards=2,
+            seed=0,
+            max_batch_size=4,
+            flush_deadline_ms=5.0,
+            cache_capacity=64,
+            clock=ManualClock(),
+            cascade=self.CASCADE,
+        )
+        for worker in cluster.workers:
+            worker.engine.set_model(model_a, "v1")
+        return cluster
+
+    def test_no_stale_embeddings_under_concurrent_load(
+        self, unit_world, cascade_cluster, model_b
+    ):
+        """Swap mid-traffic with queries pending in every shard: drained
+        results come from the old snapshot, every later result from the new
+        one — candidate sets *and* scores."""
+        # Make the snapshots retrieval-distinguishable (random inits are too
+        # close to move the top-K).
+        weight = model_b.embedder.item.weight
+        weight.data = (weight.data * 25.0).astype(weight.data.dtype)
+
+        rng = np.random.default_rng(5)
+        events = [
+            (int(rng.integers(0, 200)), int(rng.integers(0, 8))) for _ in range(40)
+        ]
+        pre = _drive(cascade_cluster, events[:20])
+        # Leave work queued on both shards, then swap under load.
+        drained = cascade_cluster.swap_model(model_b, "v2")
+        post = _drive(cascade_cluster, events[20:])
+        post.extend(cascade_cluster.flush())
+        assert all(r.model_version == "v1" for r in pre + drained)
+        assert all(r.model_version == "v2" for r in post)
+        assert len(pre) + len(drained) + len(post) == 40
+
+        # Twin engine: same compiled-scorer build path as the swapped fleet,
+        # so probe/calibration floats (and thus candidate sets) must match.
+        fresh = SearchEngine(
+            unit_world, model_b, np.random.default_rng(9), cascade=self.CASCADE
+        ).cascade
+        for ranking in post:
+            want = np.sort(fresh.retrieve(ranking.user, ranking.query_category))
+            np.testing.assert_array_equal(np.sort(ranking.items), want)
+            engine = cascade_cluster.worker_for(ranking.user).engine
+            batch = engine.build_batch(ranking.user, ranking.query_category, ranking.items)
+            np.testing.assert_allclose(
+                ranking.scores, model_b.predict_proba(batch), rtol=1e-5, atol=1e-6
+            )
+
+    def test_shards_share_one_build_but_own_their_scratch(
+        self, cascade_cluster, model_b
+    ):
+        """One swap = one cascade build: shards share the immutable snapshot
+        (item vectors, index slabs, calibrated weights) but each owns its
+        prefilter, whose plan holds mutable scratch buffers."""
+        before = [worker.engine.cascade for worker in cascade_cluster.workers]
+        cascade_cluster.swap_model(model_b, "v2")
+        after = [worker.engine.cascade for worker in cascade_cluster.workers]
+        assert all(a is not b for a, b in zip(before, after))
+        assert len({id(c) for c in after}) == len(after)
+        first, second = after
+        assert first.index is second.index
+        assert first.item_vectors is second.item_vectors
+        assert first._weights is second._weights
+        assert first.prefilter is not second.prefilter
+        assert first.prefilter.plan.arena is not second.prefilter.plan.arena
+
+
 class TestGenerationGuard:
     def test_stale_gate_discarded_without_flush(self, unit_world, model_a, model_b):
         """Even a rogue swap that skips the drain cannot leak an old gate:
@@ -131,6 +215,30 @@ class TestGenerationGuard:
         batch = engine.build_batch(user, category, ranking.items)
         np.testing.assert_allclose(
             ranking.scores, model_b.predict_proba(batch), rtol=1e-6, atol=1e-7
+        )
+
+    def test_stale_cascade_candidates_reretrieved_without_drain(
+        self, unit_world, model_a, model_b
+    ):
+        """Candidates are snapshot state like gates: even a rogue swap that
+        skips the drain cannot serve ids retrieved against the old model's
+        embeddings — the flush re-retrieves them from the new cascade."""
+        weight = model_b.embedder.item.weight
+        weight.data = (weight.data * 25.0).astype(weight.data.dtype)
+        cascade = CascadeConfig(retrieve_n=10, prune=6, nprobe="all")
+        engine = SearchEngine(
+            unit_world, model_a, np.random.default_rng(0),
+            model_version="v1", cascade=cascade,
+        )
+        batcher = MicroBatcher(engine, max_batch_size=64, cache=SessionCache(32))
+        batcher.submit(11, 2)
+        engine.set_model(model_b, "v2")  # rogue swap: no drain
+        results = batcher.flush()
+        assert len(results) == 1
+        ranking = results[0]
+        assert ranking.model_version == "v2"
+        np.testing.assert_array_equal(
+            np.sort(ranking.items), engine.retrieve(2, user=11)
         )
 
     def test_without_invalidation_stale_gate_would_leak(

@@ -1,0 +1,127 @@
+"""IVF-flat item index: exactness, recall monotonicity, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.retrieval import ItemIndex, kmeans
+
+
+@pytest.fixture()
+def corpus():
+    rng = np.random.default_rng(7)
+    num_items, dim, num_categories = 400, 8, 4
+    vectors = rng.normal(size=(num_items, dim)).astype(np.float32)
+    categories = rng.integers(0, num_categories, size=num_items)
+    return vectors, categories, num_categories
+
+
+def _brute_force(vectors, categories, query, category, topn):
+    members = np.flatnonzero(categories == category)
+    scores = vectors[members] @ query
+    if topn >= members.size:
+        return np.sort(members)
+    keep = np.argpartition(-scores, topn - 1)[:topn]
+    return np.sort(members[keep])
+
+
+class TestKMeans:
+    def test_deterministic_given_rng_seed(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(100, 4)).astype(np.float32)
+        c1, a1 = kmeans(points, 5, np.random.default_rng(9))
+        c2, a2 = kmeans(points, 5, np.random.default_rng(9))
+        np.testing.assert_array_equal(c1, c2)
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_no_empty_clusters(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(50, 3)).astype(np.float32)
+        _, assignments = kmeans(points, 8, np.random.default_rng(0))
+        assert set(np.unique(assignments)) == set(range(8))
+
+    def test_clusters_capped_at_points(self):
+        points = np.random.default_rng(0).normal(size=(3, 2)).astype(np.float32)
+        centroids, assignments = kmeans(points, 10, np.random.default_rng(1))
+        assert centroids.shape[0] == 3
+        assert assignments.max() < 3
+
+
+class TestItemIndex:
+    def test_nprobe_all_matches_brute_force(self, corpus):
+        vectors, categories, num_categories = corpus
+        index = ItemIndex(vectors, categories, num_categories)
+        rng = np.random.default_rng(1)
+        for category in range(num_categories):
+            query = rng.normal(size=vectors.shape[1]).astype(np.float32)
+            for topn in (5, 25, 10_000):
+                got = index.search(query, category, topn=topn, nprobe="all")
+                want = _brute_force(vectors, categories, query, category, topn)
+                np.testing.assert_array_equal(got, want)
+
+    def test_recall_monotone_in_nprobe(self, corpus):
+        """More probed cells can only widen the scanned set, so recall
+        against the exact top-N is non-decreasing — the cascade's knob."""
+        vectors, categories, num_categories = corpus
+        index = ItemIndex(vectors, categories, num_categories)
+        rng = np.random.default_rng(2)
+        queries = [rng.normal(size=vectors.shape[1]).astype(np.float32) for _ in range(20)]
+        topn = 10
+        recalls = []
+        for nprobe in (1, 2, 4, "all"):
+            hits = total = 0
+            for q, query in enumerate(queries):
+                category = q % num_categories
+                exact = set(index.search(query, category, topn=topn, nprobe="all").tolist())
+                got = set(index.search(query, category, topn=topn, nprobe=nprobe).tolist())
+                hits += len(exact & got)
+                total += len(exact)
+            recalls.append(hits / total)
+        assert all(a <= b + 1e-12 for a, b in zip(recalls, recalls[1:]))
+        assert recalls[-1] == 1.0
+        assert recalls[0] < 1.0  # one probe of many cells must actually miss
+
+    def test_build_deterministic(self, corpus):
+        vectors, categories, num_categories = corpus
+        a = ItemIndex(vectors, categories, num_categories, seed=4)
+        b = ItemIndex(vectors, categories, num_categories, seed=4)
+        query = np.random.default_rng(0).normal(size=vectors.shape[1]).astype(np.float32)
+        for category in range(num_categories):
+            np.testing.assert_array_equal(
+                a.search(query, category, topn=7, nprobe=2),
+                b.search(query, category, topn=7, nprobe=2),
+            )
+
+    def test_results_ascending_and_in_category(self, corpus):
+        vectors, categories, num_categories = corpus
+        index = ItemIndex(vectors, categories, num_categories)
+        query = np.random.default_rng(5).normal(size=vectors.shape[1]).astype(np.float32)
+        ids = index.search(query, 1, topn=9, nprobe=2)
+        assert np.all(np.diff(ids) > 0)
+        assert np.all(categories[ids] == 1)
+
+    def test_empty_partition(self):
+        vectors = np.ones((4, 3), dtype=np.float32)
+        categories = np.zeros(4, dtype=np.int64)
+        index = ItemIndex(vectors, categories, num_categories=2)
+        assert index.partition_size(1) == 0
+        assert index.search(np.ones(3, dtype=np.float32), 1, topn=5).size == 0
+
+    def test_validation(self, corpus):
+        vectors, categories, num_categories = corpus
+        index = ItemIndex(vectors, categories, num_categories)
+        with pytest.raises(ValueError):
+            index.search(np.zeros(vectors.shape[1], dtype=np.float32), 0, topn=3, nprobe=0)
+        with pytest.raises(ValueError):
+            ItemIndex(vectors[None], categories, num_categories)
+        with pytest.raises(ValueError):
+            ItemIndex(vectors, categories[:-1], num_categories)
+
+    def test_stats_accounting(self, corpus):
+        vectors, categories, num_categories = corpus
+        index = ItemIndex(vectors, categories, num_categories)
+        stats = index.stats()
+        assert stats["num_items"] == vectors.shape[0]
+        assert stats["partitions"] == num_categories
+        assert stats["nbytes"] == index.nbytes > 0
+        sizes = [index.partition_size(c) for c in range(num_categories)]
+        assert sum(sizes) == vectors.shape[0]

@@ -212,6 +212,40 @@ class TestOnlineEventMetrics:
             "click_log_lag": 12,
         }
 
+    def test_summary_percentiles_match_single_sort(self):
+        """summary() sorts the latency list once and must read the same
+        nearest-rank values latency_percentile computes from scratch."""
+        rng = np.random.default_rng(8)
+        sink = MetricsSink(clock=ManualClock())
+        for value in rng.random(257) * 100:
+            sink.record_query(float(value))
+        summary = sink.summary()
+        for key, p in (("p50", 50), ("p95", 95), ("p99", 99)):
+            assert summary["latency_ms"][key] == latency_percentile(sink.latencies_ms, p)
+
+    def test_cascade_cost_in_summary_and_merge(self, unit_world):
+        from repro.retrieval import CascadeConfig
+        from repro.serving import compare_retrieval_strategies
+
+        report = compare_retrieval_strategies(
+            ModelConfig.unit(),
+            unit_world.meta(),
+            seq_len=8,
+            category_size=1000,
+            cascade=CascadeConfig(retrieve_n=128, prune=32, nprobe=4),
+            vector_dim=10,
+        )
+        sink = MetricsSink(clock=ManualClock())
+        assert sink.summary()["cost"]["cascade"] is None
+        sink.record_cascade_cost(report)
+        cascade = sink.summary()["cost"]["cascade"]
+        assert cascade["survivors"] == 32
+        assert cascade["total_saving_factor"] > 1.0
+        merged = sink.merge(MetricsSink(clock=ManualClock()))
+        assert merged.cascade_cost is report
+        merged = MetricsSink(clock=ManualClock()).merge(sink)
+        assert merged.cascade_cost is report
+
     def test_cost_model_translates_cache_hits_to_flops(self, unit_world):
         from repro.serving import compare_gate_strategies
         from repro.serving.cache import CacheStats

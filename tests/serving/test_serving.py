@@ -6,9 +6,11 @@ import numpy as np
 import pytest
 
 from repro.core import ModelConfig, build_model
+from repro.retrieval import CascadeConfig
 from repro.serving import (
     SearchEngine,
     compare_gate_strategies,
+    compare_retrieval_strategies,
     gate_network_flops,
     mlp_flops,
     model_flops,
@@ -56,6 +58,60 @@ class TestCostModel:
     def test_invalid_items(self, test_set):
         with pytest.raises(ValueError):
             compare_gate_strategies(ModelConfig.paper(), test_set.meta, 0, 10)
+
+
+class TestCascadeCostModel:
+    def test_cascade_beats_exhaustive_on_large_categories(self, test_set):
+        report = compare_retrieval_strategies(
+            ModelConfig.paper(),
+            test_set.meta,
+            seq_len=20,
+            category_size=10_000,
+            cascade=CascadeConfig(retrieve_n=1024, prune=256, nprobe=8),
+            vector_dim=16,
+        )
+        assert report.ranker_saving_factor == 10_000 / 256
+        assert report.total_saving_factor > 5.0
+        # Stage 1+2 are a rounding error next to one full-model candidate.
+        per_item = report.exhaustive_flops / 10_000
+        assert report.stage1_flops + report.prefilter_flops < 10 * per_item
+
+    def test_exhaustive_cascade_costs_more_than_exhaustive(self, test_set):
+        """Parity mode scans everything *and* runs the ranker on everything
+        — strictly more work, which is why it is a test oracle, not a
+        serving mode."""
+        report = compare_retrieval_strategies(
+            ModelConfig.paper(),
+            test_set.meta,
+            seq_len=20,
+            category_size=500,
+            cascade=CascadeConfig.exhaustive(),
+            vector_dim=16,
+        )
+        assert report.survivors == 500
+        assert report.cascade_flops > report.exhaustive_flops
+        assert report.total_saving_factor < 1.0
+
+    def test_report_is_json_ready(self, test_set):
+        import json
+
+        report = compare_retrieval_strategies(
+            ModelConfig.unit(),
+            test_set.meta,
+            seq_len=8,
+            category_size=100,
+            cascade=CascadeConfig(retrieve_n=32, prune=8, nprobe=2),
+            vector_dim=10,
+        )
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["survivors"] == 8
+        assert payload["total_saving_factor"] > 1.0
+
+    def test_invalid_category_size(self, test_set):
+        with pytest.raises(ValueError):
+            compare_retrieval_strategies(
+                ModelConfig.unit(), test_set.meta, 8, 0, CascadeConfig(), 10
+            )
 
 
 class TestSearchEngine:

@@ -101,6 +101,68 @@ def compare_to_artifact(
     return messages
 
 
+def compare_profile_shares(
+    report: Dict,
+    reference_path: Path,
+    warn_delta: float = 0.10,
+    fail_delta: float = 0.25,
+) -> List[str]:
+    """Regression gate on per-kernel time *shares* from the plan profiler.
+
+    Shares (each step's fraction of its plan's wall time) are the most
+    machine-portable profile quantity: absolute kernel times move with the
+    CPU, but one kernel suddenly eating a much larger slice of the plan is a
+    code regression.  Compares ``report["profile"]["shares"]`` — a
+    ``{plan: {step: share}}`` mapping — against the reference artifact:
+
+    * a step's share growing more than ``warn_delta`` share points warns;
+    * more than ``fail_delta`` raises :class:`BenchmarkRegressionError`
+      (``REPRO_ALLOW_REGRESSION=1`` demotes to a warning, as in
+      :func:`compare_to_artifact`).
+
+    Returns the emitted messages; quietly returns ``[]`` when either side
+    lacks a profile section (e.g. a reference checked in before profiling
+    existed), so the gate is safe to call unconditionally.
+    """
+    current_shares = _dig(report, ("profile", "shares"))
+    if not reference_path.exists() or not isinstance(current_shares, dict):
+        return []
+    reference = json.loads(reference_path.read_text())
+    baseline_shares = _dig(reference, ("profile", "shares"))
+    if not isinstance(baseline_shares, dict):
+        return []
+    allow = os.environ.get("REPRO_ALLOW_REGRESSION", "") == "1"
+    messages: List[str] = []
+    failures: List[str] = []
+    for plan, baseline_steps in baseline_shares.items():
+        current_steps = current_shares.get(plan)
+        if not isinstance(current_steps, dict) or not isinstance(baseline_steps, dict):
+            continue
+        for step, baseline in baseline_steps.items():
+            current = current_steps.get(step)
+            if not isinstance(current, (int, float)) or not isinstance(baseline, (int, float)):
+                continue
+            delta = current - baseline
+            if delta <= min(warn_delta, fail_delta):
+                continue
+            message = (
+                f"{plan}.{step} time share grew {delta * 100:.0f} points "
+                f"vs reference ({current:.1%} > {baseline:.1%} + {warn_delta:.0%})"
+            )
+            messages.append(message)
+            if delta > fail_delta and not allow:
+                failures.append(message)
+            else:
+                warnings.warn(message, BenchmarkRegressionWarning, stacklevel=2)
+    if failures:
+        raise BenchmarkRegressionError(
+            "per-kernel profile regression beyond the hard gate "
+            f"(>{fail_delta * 100:.0f} share points; REPRO_ALLOW_REGRESSION=1 "
+            "to override):\n  " + "\n  ".join(failures)
+        )
+    return messages
+
+
 MODEL_LABELS = {
     "dnn": "DNN",
     "din": "DIN",

@@ -1,6 +1,7 @@
-"""Serving-throughput benchmarks: batching, caching, and compiled inference.
+"""Serving-throughput benchmarks: batching, caching, compiled inference,
+and the observability overhead/artifact runs.
 
-Two benchmarks share this module:
+Four benchmarks share this module:
 
 * :func:`test_serving_throughput` replays identical Zipf-distributed
   traffic (the repeated-user regime of production search, §III-F) through
@@ -14,7 +15,15 @@ Two benchmarks share this module:
   ratios (via :func:`benchmarks._helpers.compare_to_artifact`) against the
   checked-in reference artifact: >20% down warns, and a >30% drop of the
   single-query ratio fails the build (``REPRO_ALLOW_REGRESSION=1`` to
-  override).
+  override).  It also profiles every fused kernel and gates each step's
+  *time share* against the reference
+  (:func:`benchmarks._helpers.compare_profile_shares`);
+* :func:`test_tracing_overhead` guards the observability bargain: with no
+  tracer sampling, the instrumented batched path must stay within 5% of
+  the uninstrumented one (``benchmarks/artifacts/observability.json``);
+* :func:`test_traced_fleet_artifacts` runs fully sampled traced traffic
+  through a cascade-backed fleet and exports the JSONL trace plus metrics
+  snapshots (JSON + Prometheus text) as CI artifacts.
 
 ``REPRO_SMOKE=1`` shrinks query counts and timing repeats so CI can
 exercise the compile path on every push.
@@ -28,8 +37,10 @@ from pathlib import Path
 
 import numpy as np
 
-from _helpers import compare_to_artifact
-from repro.infer import compile_model
+from _helpers import compare_profile_shares, compare_to_artifact
+from repro.infer import PlanProfiler, compile_model
+from repro.obs import JsonlTraceExporter, SloTracker, Tracer
+from repro.retrieval import CascadeConfig
 from repro.serving import (
     MetricsSink,
     MicroBatcher,
@@ -52,9 +63,14 @@ MAX_BATCH = 16
 # Smoke runs write to their own files so a full-fidelity artifact produced
 # earlier in the same CI job is never clobbered before upload.
 _SUFFIX = "_smoke" if SMOKE else ""
-ARTIFACT = Path(__file__).parent / "artifacts" / f"serving_throughput{_SUFFIX}.json"
-COMPILED_ARTIFACT = Path(__file__).parent / "artifacts" / f"compiled_inference{_SUFFIX}.json"
+_ARTIFACTS = Path(__file__).parent / "artifacts"
+ARTIFACT = _ARTIFACTS / f"serving_throughput{_SUFFIX}.json"
+COMPILED_ARTIFACT = _ARTIFACTS / f"compiled_inference{_SUFFIX}.json"
 COMPILED_REFERENCE = Path(__file__).parent / "reference" / "compiled_inference.json"
+OBSERVABILITY_ARTIFACT = _ARTIFACTS / f"observability{_SUFFIX}.json"
+TRACE_ARTIFACT = _ARTIFACTS / f"trace{_SUFFIX}.jsonl"
+METRICS_SNAPSHOT = _ARTIFACTS / f"metrics_snapshot{_SUFFIX}.json"
+PROMETHEUS_SNAPSHOT = _ARTIFACTS / f"metrics_snapshot{_SUFFIX}.prom"
 
 
 def _timed(fn):
@@ -155,7 +171,7 @@ def test_serving_throughput(search_data, trained_models):
     # gate cache.
     assert batched_qps > single_qps
     assert cache.gate_hit_rate > 0.0
-    assert max(batcher.metrics.batch_sizes) <= MAX_BATCH
+    assert batcher.metrics.max_batch_size <= MAX_BATCH
 
 
 def test_compiled_inference_speedup(search_data, trained_models):
@@ -231,6 +247,20 @@ def test_compiled_inference_speedup(search_data, trained_models):
                 fleet[label] = {"qps": NUM_QUERIES / seconds, "seconds": seconds}
     fleet_improvement = fleet["compiled"]["qps"] / fleet["eager"]["qps"]
 
+    # -- per-kernel profile ---------------------------------------------
+    # Profiled *after* the timing measurements so the per-step clocks never
+    # contaminate the speedup ratios.  Shares (fraction of plan time per
+    # fused kernel) are gated against the reference: a kernel suddenly
+    # eating a much larger slice of the plan is a code regression even when
+    # total wall time looks fine on a faster machine.
+    profiler = PlanProfiler()
+    compiled.attach_profiler(profiler)
+    for _ in range(loops):
+        compiled.predict_proba(flush_batch)
+    profile_table = compiled.profile_report()
+    compiled.attach_profiler(None)
+    profile_shares = {plan: profiler.shares(plan) for plan in profiler.plans()}
+
     report = {
         "smoke": SMOKE,
         "queries": NUM_QUERIES,
@@ -253,6 +283,8 @@ def test_compiled_inference_speedup(search_data, trained_models):
             "qps_improvement": fleet_improvement,
         },
         "plan": compiled.stats(),
+        "profile": {"loops": loops, "rows": int(flush_batch["label"].shape[0]),
+                    "shares": profile_shares},
     }
     COMPILED_ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
     COMPILED_ARTIFACT.write_text(json.dumps(report, indent=2))
@@ -269,6 +301,9 @@ def test_compiled_inference_speedup(search_data, trained_models):
         [("flush_batch", "speedup"), ("fleet", "qps_improvement")],
         fail_tolerance=1.0,
     ))
+    # Per-kernel share gate: +10 share points warns, +25 fails.  Shares are
+    # ratios within one run, so the gate holds in smoke mode too.
+    regressions += compare_profile_shares(report, COMPILED_REFERENCE)
 
     print_table(
         ["Path", "eager", "compiled", "speedup"],
@@ -283,6 +318,7 @@ def test_compiled_inference_speedup(search_data, trained_models):
         title=f"Compiled inference — artifact: {COMPILED_ARTIFACT.name}"
         + (" [smoke]" if SMOKE else ""),
     )
+    print(profile_table)
     if regressions:
         print("regression warnings:", *regressions, sep="\n  ")
 
@@ -307,3 +343,162 @@ def test_compiled_inference_speedup(search_data, trained_models):
                 "(timing noise or a real regression — see the artifact)",
                 stacklevel=2,
             )
+
+
+def test_tracing_overhead(search_data, trained_models):
+    """Disabled-instrumentation guard: tracing must be free when off.
+
+    Every serving layer now calls into the tracer unconditionally; the
+    null-object design (``NULL_TRACER``/``NULL_TRACE``) is what keeps that
+    affordable.  This benchmark replays identical Zipf traffic through the
+    micro-batched path three ways — no tracer, a tracer that samples
+    nothing (pays only the per-request sampling decision), and full
+    sampling (every span recorded) — and guards the ISSUE acceptance bound:
+    the disabled path must regress batched throughput by **less than 5%**.
+
+    The full-sampling column is informational (it is *supposed* to cost
+    something); only the disabled ratio is gated, and only on quiet
+    machines — smoke/CI runs sanity-check direction and record the artifact.
+    """
+    world, _, _ = search_data
+    model, _ = trained_models["aw_moe"]
+    events = ZipfLoadGenerator(
+        np.random.default_rng(17), world=world, zipf_exponent=1.2
+    ).generate(NUM_QUERIES)
+    repeats = 2 if SMOKE else 3
+
+    def run_once(tracer):
+        engine = SearchEngine(world, model, np.random.default_rng(7))
+        batcher = MicroBatcher(
+            engine,
+            max_batch_size=MAX_BATCH,
+            flush_deadline_ms=50.0,
+            cache=SessionCache(2048),
+            tracer=tracer,
+        )
+        results, seconds = _timed(lambda: replay(batcher, events))
+        assert len(results) == NUM_QUERIES
+        return seconds
+
+    def best_seconds(make_tracer):
+        return min(run_once(make_tracer()) for _ in range(repeats))
+
+    # Interleaving would be fairer under drifting load, but best-of-N per
+    # configuration already discards one-off hiccups at this duration.
+    baseline = best_seconds(lambda: None)
+    disabled = best_seconds(lambda: Tracer(sample_rate=0.0))
+    sampled = best_seconds(lambda: Tracer(sample_rate=1.0))
+    disabled_overhead = disabled / baseline - 1.0
+    sampled_overhead = sampled / baseline - 1.0
+
+    report = {
+        "smoke": SMOKE,
+        "queries": NUM_QUERIES,
+        "repeats": repeats,
+        "baseline_qps": NUM_QUERIES / baseline,
+        "disabled_tracer_qps": NUM_QUERIES / disabled,
+        "sampled_tracer_qps": NUM_QUERIES / sampled,
+        "disabled_overhead": disabled_overhead,
+        "sampled_overhead": sampled_overhead,
+    }
+    OBSERVABILITY_ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
+    OBSERVABILITY_ARTIFACT.write_text(json.dumps(report, indent=2))
+
+    print_table(
+        ["Path", "QPS", "overhead"],
+        [
+            ["no tracer", f"{NUM_QUERIES / baseline:.0f}", "-"],
+            ["tracer, sampling off", f"{NUM_QUERIES / disabled:.0f}",
+             f"{disabled_overhead:+.1%}"],
+            ["tracer, 100% sampled", f"{NUM_QUERIES / sampled:.0f}",
+             f"{sampled_overhead:+.1%}"],
+        ],
+        title=f"Tracing overhead — {NUM_QUERIES} Zipf queries "
+        f"(artifact: {OBSERVABILITY_ARTIFACT.name})",
+    )
+
+    if STRICT_TIMING:
+        assert disabled_overhead < 0.05
+    elif disabled_overhead >= 0.05:
+        warnings.warn(
+            f"disabled-tracer overhead {disabled_overhead:.1%} >= 5% "
+            "(noisy runner or a real regression — see the artifact)",
+            stacklevel=2,
+        )
+    # Any environment: the disabled path must not be catastrophically slower.
+    assert disabled_overhead < 0.5
+
+
+def test_traced_fleet_artifacts(search_data, trained_models):
+    """Fully sampled traced run: the observability artifacts CI uploads.
+
+    Replays Zipf traffic through a 2-shard cascade-backed fleet with a
+    100%-sampling tracer, a fleet SLO, and streaming metrics, then exports:
+
+    * ``trace.jsonl`` — one line per request, spans covering queue-wait,
+      gate (cache hit/miss), retrieval sub-stages (ivf-probe), and the
+      per-kernel rank steps (the ISSUE's acceptance trace);
+    * ``metrics_snapshot.json`` — fleet summary + Prometheus-style registry
+      dump + SLO status;
+    * ``metrics_snapshot.prom`` — the Prometheus text exposition.
+    """
+    world, _, _ = search_data
+    model, _ = trained_models["aw_moe"]
+    num_queries = min(NUM_QUERIES, 120)
+    events = ZipfLoadGenerator(
+        np.random.default_rng(19), world=world, zipf_exponent=1.2
+    ).generate(num_queries)
+
+    TRACE_ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
+    slo = SloTracker(latency_slo_ms=250.0, availability_target=0.99, window_seconds=600.0)
+    with JsonlTraceExporter(str(TRACE_ARTIFACT)) as exporter:
+        tracer = Tracer(sample_rate=1.0, exporter=exporter)
+        cluster = ShardedCluster(
+            world,
+            model,
+            num_shards=2,
+            seed=5,
+            max_batch_size=8,
+            flush_deadline_ms=50.0,
+            cache_capacity=2048,
+            cascade=CascadeConfig(
+                retrieve_n=24, prune=12, nprobe=2,
+                calibration_queries=32, calibration_items=64,
+            ),
+            slo=slo,
+            tracer=tracer,
+        )
+        results = replay(cluster, events)
+        assert len(results) == num_queries
+        traces_written = exporter.traces_written
+
+    merged = cluster.merged_metrics()
+    snapshot = {
+        "queries": num_queries,
+        "summary": merged.summary(),
+        "registry": merged.to_registry().to_json(),
+        "tracer": tracer.stats(),
+    }
+    METRICS_SNAPSHOT.write_text(json.dumps(snapshot, indent=2))
+    PROMETHEUS_SNAPSHOT.write_text(merged.prometheus_text())
+
+    print(cluster.fleet_report())
+    print(f"\ntrace artifact: {TRACE_ARTIFACT.name} ({traces_written} traces)")
+
+    # Acceptance: the exported trace covers every stage of the ISSUE's span
+    # tree on at least one request.
+    assert traces_written == num_queries
+    span_names = set()
+    with TRACE_ARTIFACT.open() as lines:
+        for line in lines:
+            span_names.update(span["name"] for span in json.loads(line)["spans"])
+    for required in (
+        "submit", "queue-wait", "gate", "retrieve", "session-vector",
+        "ivf-probe", "flush", "rank", "experts", "mix",
+    ):
+        assert required in span_names, f"span {required!r} missing from trace"
+    # The metrics snapshot is streaming (bounded): no raw latency list, yet
+    # percentiles and the SLO verdict are present.
+    assert merged.latencies_ms is None
+    assert snapshot["summary"]["latency_ms"]["p99"] > 0.0
+    assert snapshot["summary"]["slo"]["window_requests"] == num_queries

@@ -4,8 +4,9 @@ Builds the retrieval + ranking engine over a trained AW-MoE, serves live
 queries, reports latency, prints the gate-cost comparison between the
 initial (gate-per-item) and deployed (gate-per-session) designs, drives the
 high-throughput stack (Zipf traffic → sharded workers → micro-batching →
-cached session gates), and runs a small A/B test of AW-MoE against
-Category-MoE.
+cached session gates) with full observability — request tracing, a fleet
+SLO, and the ``fleet_report()`` dashboard — and runs a small A/B test of
+AW-MoE against Category-MoE.
 
 Run:  python examples/serving_demo.py
 """
@@ -14,6 +15,7 @@ import numpy as np
 
 from repro.core import ModelConfig, TrainConfig, build_model, train_model
 from repro.data import WorldConfig, make_search_datasets
+from repro.obs import SloTracker, Tracer
 from repro.serving import (
     SearchEngine,
     ShardedCluster,
@@ -67,31 +69,27 @@ def main() -> None:
     print(f"Gate-resource saving: {report.gate_saving_factor:.0f}x (paper: >10x)")
 
     # --- high-throughput stack: shards + micro-batching + gate cache ---
+    # One tracer samples 10% of requests into bounded in-memory span trees;
+    # one SLO tracker watches sliding-window p99 and error-budget burn.
     print("\nReplaying 300 Zipf-distributed queries through a 4-shard cluster ...")
+    tracer = Tracer(sample_rate=0.1, seed=3)
+    slo = SloTracker(latency_slo_ms=100.0, availability_target=0.99)
     cluster = ShardedCluster(
-        world, aw_moe, num_shards=4, seed=21, max_batch_size=16, flush_deadline_ms=50.0
+        world, aw_moe, num_shards=4, seed=21, max_batch_size=16,
+        flush_deadline_ms=50.0, tracer=tracer, slo=slo,
     )
     events = ZipfLoadGenerator(
         np.random.default_rng(13), world=world, zipf_exponent=1.2
     ).generate(300)
     replay(cluster, events)
-    summary = cluster.summary()
-    print_table(
-        ["Shard", "queries", "avg ms", "cache hit rate"],
-        [
-            [str(s["shard"]), str(s["queries"]), f"{s['avg_latency_ms']:.2f}",
-             f"{s['cache_hit_rate']:.1%}"]
-            for s in summary["shards"]
-        ],
-        title="Per-shard serving stats",
-    )
-    latency = summary["latency_ms"]
-    print(
-        f"Fleet: {summary['qps']:.0f} QPS, "
-        f"p50/p95/p99 = {latency['p50']:.1f}/{latency['p95']:.1f}/{latency['p99']:.1f} ms, "
-        f"mean batch {summary['mean_batch_size']:.1f}, "
-        f"gate-cache hit rate {summary['cache']['hit_rate']:.1%}"
-    )
+    print(cluster.fleet_report())
+    if tracer.finished:
+        last = tracer.finished[-1]
+        print(f"\nOne sampled request trace ({last['name']}, "
+              f"{last['duration_ms']:.1f} ms):")
+        for span in last["spans"]:
+            indent = "    " if span["parent"] is not None else "  "
+            print(f"{indent}{span['name']:<14} {span['duration_ms']:8.3f} ms")
 
     # --- §IV-I A/B test -------------------------------------------------
     print("\nRunning simulated A/B test (Category-MoE control vs AW-MoE & CL) ...")

@@ -24,8 +24,10 @@ from repro.infer.compiler import (
 )
 from repro.infer.kernels import PackedExperts, PackedMLP, sigmoid_
 from repro.infer.plan import BufferArena, InferencePlan, PlanStep
+from repro.obs.profiler import PlanProfiler
 
 __all__ = [
+    "PlanProfiler",
     "CompiledModel",
     "CompileError",
     "compile_model",

@@ -65,6 +65,18 @@ class CompileError(RuntimeError):
     """Raised when no compiler is registered for a model's type."""
 
 
+def _pack_flops(pack: PackedMLP) -> int:
+    """Per-row MAC count of a packed MLP, via the §III-F cost model's
+    arithmetic (``repro.serving.cost.mlp_flops`` over the packed shapes) —
+    the number the :class:`~repro.obs.profiler.PlanProfiler` aggregates.
+    """
+    # Lazy import: repro.serving imports repro.infer at package-init time,
+    # so a module-level import here would be order-sensitive.
+    from repro.serving.cost import mlp_flops
+
+    return mlp_flops(pack.in_features, [weight.shape[1] for weight, _, _ in pack.layers])
+
+
 _COMPILERS: Dict[type, Callable] = {}
 
 
@@ -174,7 +186,7 @@ def _mlp_step(
             out = out.reshape(shape[:-1] + (pack.out_features,))
         ctx[out_key] = out
 
-    return PlanStep(name, "mlp", fn, reads=(in_key,), writes=(out_key,))
+    return PlanStep(name, "mlp", fn, reads=(in_key,), writes=(out_key,), flops=_pack_flops(pack))
 
 
 def _batch_mlp_step(name: str, arena: BufferArena, pack: PackedMLP, batch_key: str, out_key: str) -> PlanStep:
@@ -185,7 +197,9 @@ def _batch_mlp_step(name: str, arena: BufferArena, pack: PackedMLP, batch_key: s
     def fn(ctx: dict) -> None:
         ctx[out_key] = pack.run(ctx["batch"][batch_key], binder)
 
-    return PlanStep(name, "mlp", fn, reads=(batch_key,), writes=(out_key,))
+    return PlanStep(
+        name, "mlp", fn, reads=(batch_key,), writes=(out_key,), flops=_pack_flops(pack)
+    )
 
 
 def _pairwise_step(name: str, arena: BufferArena, seq_key: str, key_key: str, out_key: str) -> PlanStep:
@@ -228,7 +242,12 @@ def _unit_scores_step(
         ctx[out_key] = scores
 
     return PlanStep(
-        name, "attention", fn, reads=(pairwise_key, "behavior_mask"), writes=(out_key,)
+        name,
+        "attention",
+        fn,
+        reads=(pairwise_key, "behavior_mask"),
+        writes=(out_key,),
+        flops=_pack_flops(pack),
     )
 
 
@@ -339,7 +358,17 @@ def _build_score_plan(model, dtype: np.dtype, parity: bool) -> InferencePlan:
                 scores[:, k] = out[:, 0]
             ctx["expert_scores"] = scores
 
-        steps.append(PlanStep("experts", "experts", experts_fn, reads=("v_imp",), writes=("expert_scores",)))
+        experts_flops = sum(_pack_flops(pack) for pack, _ in expert_packs)
+        steps.append(
+            PlanStep(
+                "experts",
+                "experts",
+                experts_fn,
+                reads=("v_imp",),
+                writes=("expert_scores",),
+                flops=experts_flops,
+            )
+        )
     else:
         packed = PackedExperts(model.experts._experts, dtype)
 
@@ -348,7 +377,21 @@ def _build_score_plan(model, dtype: np.dtype, parity: bool) -> InferencePlan:
         def experts_fn(ctx: dict) -> None:
             ctx["expert_scores"] = packed.run(ctx["v_imp"], experts_binder)
 
-        steps.append(PlanStep("experts", "experts", experts_fn, reads=("v_imp",), writes=("expert_scores",)))
+        # All K experts share one architecture; the fused GEMMs perform the
+        # same MACs as K independent forwards.
+        experts_flops = num_experts * sum(
+            2 * weight.shape[0] * weight.shape[1] for weight in packed.widths
+        )
+        steps.append(
+            PlanStep(
+                "experts",
+                "experts",
+                experts_fn,
+                reads=("v_imp",),
+                writes=("expert_scores",),
+                flops=experts_flops,
+            )
+        )
 
     def mix_fn(ctx: dict) -> None:
         scores = ctx["expert_scores"]
@@ -607,6 +650,29 @@ class CompiledModel:
         """Cache-ready gate matrix ``(B, K)`` — always a fresh copy, because
         the session cache retains it across future plan executions."""
         return self.gate_plan.run(batch).copy()
+
+    # -- profiling ------------------------------------------------------
+    def attach_profiler(self, profiler) -> None:
+        """Time every kernel of both plans with ``profiler`` (a
+        :class:`~repro.obs.profiler.PlanProfiler`); pass ``None`` to detach
+        and restore the unconditional fast loop."""
+        self.gate_plan.profiler = profiler
+        self.score_plan.profiler = profiler
+
+    @property
+    def profiler(self):
+        return self.score_plan.profiler
+
+    def profile_report(self) -> str:
+        """Combined per-kernel table over the gate and score plans."""
+        if self.score_plan.profiler is None:
+            raise RuntimeError(
+                "no profiler attached; call attach_profiler(PlanProfiler()) "
+                "before scoring"
+            )
+        return self.score_plan.profiler.report_table(
+            title=f"{type(self.source).__name__} kernel profile"
+        )
 
     # -- introspection --------------------------------------------------
     def stats(self) -> Dict[str, object]:

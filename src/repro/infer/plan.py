@@ -23,6 +23,7 @@ as each training process owns its own activations.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -94,6 +95,11 @@ class PlanStep:
     fn: Callable[[dict], None]
     reads: Tuple[str, ...] = ()
     writes: Tuple[str, ...] = ()
+    #: Estimated multiply-accumulate FLOPs **per output row**, stamped by
+    #: the compiler from the packed weight shapes (the §III-F cost-model
+    #: arithmetic).  0 for steps whose cost is not GEMM-shaped (gathers,
+    #: concats, pools); consumed by :class:`~repro.obs.profiler.PlanProfiler`.
+    flops: int = 0
 
     def __repr__(self) -> str:  # keep plan dumps compact
         return f"PlanStep({self.name!r}, {self.kind})"
@@ -110,6 +116,16 @@ class InferencePlan:
     #: Batch keys the plan reads; binding validates they are present.
     inputs: Tuple[str, ...] = ()
     calls: int = 0
+    #: Optional :class:`~repro.obs.profiler.PlanProfiler` (duck-typed:
+    #: ``record_step(plan_name, step, seconds, ctx)``).  ``None`` keeps the
+    #: unconditional fast loop — attaching is strictly opt-in.
+    profiler: Optional[object] = field(default=None, repr=False, compare=False)
+    #: Optional per-execution hook ``(step, seconds) -> None``; the serving
+    #: tracer installs one transiently to attach per-kernel spans to sampled
+    #: traces without the allocation cost of a persistent profiler.
+    step_hook: Optional[Callable[[PlanStep, float], None]] = field(
+        default=None, repr=False, compare=False
+    )
     _ctx: dict = field(default_factory=dict, repr=False)
 
     def run(self, batch: Dict[str, np.ndarray], **bound) -> np.ndarray:
@@ -128,10 +144,36 @@ class InferencePlan:
         ctx.clear()
         ctx["batch"] = batch
         ctx.update(bound)
-        for step in self.steps:
-            step.fn(ctx)
+        profiler = self.profiler
+        hook = self.step_hook
+        if profiler is None and hook is None:
+            for step in self.steps:
+                step.fn(ctx)
+        else:
+            clock = time.perf_counter
+            for step in self.steps:
+                begin = clock()
+                step.fn(ctx)
+                elapsed = clock() - begin
+                if profiler is not None:
+                    profiler.record_step(self.name, step, elapsed, ctx)
+                if hook is not None:
+                    hook(step, elapsed)
         self.calls += 1
         return ctx[self.output]
+
+    def profile_report(self) -> str:
+        """The attached profiler's (step, op, shape, calls, total ms,
+        % of plan) table for this plan; raises without a profiler."""
+        if self.profiler is None:
+            raise RuntimeError(
+                f"plan {self.name!r} has no profiler attached; "
+                "set plan.profiler = PlanProfiler() (or CompiledModel."
+                "attach_profiler) before running it"
+            )
+        return self.profiler.report_table(
+            plan=self.name, title=f"plan {self.name!r} kernel profile"
+        )
 
     def describe(self) -> List[str]:
         """Human-readable program listing (used by tests and ``__repr__``)."""

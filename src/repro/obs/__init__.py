@@ -1,0 +1,62 @@
+"""``repro.obs`` — fleet observability: tracing, streaming telemetry, SLOs.
+
+The serving stack (§III-F) spans five subsystems — micro-batcher, session
+cache, retrieval cascade, compiled inference plan, online loop — and this
+package is the instrument layer threaded through all of them:
+
+* :mod:`~repro.obs.trace` — request tracing with nested spans
+  (``submit → queue-wait → gate → retrieve → rank → flush``), head-based
+  sampling, and a JSONL exporter; disabled tracing is a shared no-op
+  singleton, so the hot path never branches on "is tracing on?";
+* :mod:`~repro.obs.streaming` — counters, gauges, and fixed-size
+  exponential-bucket histograms (quantile error ≤ 2%, O(1) memory) that
+  replace the unbounded per-query lists, mergeable across shards and
+  exportable as Prometheus text or JSON;
+* :mod:`~repro.obs.events` — typed control-plane events (hot swaps, canary
+  verdicts, recall probes, click-log lag) in a bounded ring buffer;
+* :mod:`~repro.obs.slo` — sliding-window p99 and error-budget burn rate;
+* :mod:`~repro.obs.profiler` — per-kernel timing + FLOP attribution for
+  compiled :class:`~repro.infer.plan.InferencePlan` executions.
+
+Everything here is numpy-and-stdlib only and imports nothing from the
+serving stack — serving imports obs, never the reverse.
+"""
+
+from repro.obs.events import EVENT_KINDS, Event, EventLog
+from repro.obs.profiler import PlanProfiler
+from repro.obs.slo import SloTracker
+from repro.obs.streaming import Counter, Gauge, MetricsRegistry, StreamingHistogram
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACE,
+    NULL_TRACER,
+    InMemoryExporter,
+    JsonlTraceExporter,
+    NullTracer,
+    Span,
+    Trace,
+    Tracer,
+    kernel_span_hook,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "Event",
+    "EventLog",
+    "PlanProfiler",
+    "SloTracker",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "StreamingHistogram",
+    "NULL_SPAN",
+    "NULL_TRACE",
+    "NULL_TRACER",
+    "InMemoryExporter",
+    "JsonlTraceExporter",
+    "NullTracer",
+    "Span",
+    "Trace",
+    "Tracer",
+    "kernel_span_hook",
+]

@@ -267,7 +267,18 @@ class OnlineLoop:
                 self.trainer.model, self._production_model, holdout_set
             )
             passed = report.canary.passed
-            self.cluster.control.record_canary(passed)
+            # The verdict lands in the fleet's control-plane event log with
+            # the candidate's label and — when the retrieval probe ran — its
+            # measured cascade recall (a separate recall_probe event).
+            candidate_metrics = report.canary.candidate
+            recall = (
+                candidate_metrics.get("retrieval_recall")
+                if isinstance(candidate_metrics, dict)
+                else None
+            )
+            self.cluster.control.record_canary(
+                passed, version=self.registry.label(entry.version), recall=recall
+            )
         else:
             passed = True
         if passed:

@@ -75,6 +75,7 @@ import numpy as np
 
 from repro.data.features import assemble_candidate_batch, item_dense
 from repro.data.synthetic import AGE_GROUPS
+from repro.obs.trace import NULL_TRACE
 from repro.retrieval.index import ItemIndex
 from repro.retrieval.prefilter import Prefilter
 
@@ -612,22 +613,35 @@ class RetrievalCascade:
         user: int,
         query_category: int,
         gate: Optional[np.ndarray] = None,
+        trace=NULL_TRACE,
     ) -> np.ndarray:
-        """Candidate ids for one (user, query) — the cascade's stages 1+2."""
+        """Candidate ids for one (user, query) — the cascade's stages 1+2.
+
+        A sampled ``trace`` receives one span per sub-stage
+        (``session-vector``, ``ivf-probe``, ``prefilter`` → ``prune``) so a
+        slow retrieval can be attributed to the index probe vs the prune.
+        """
         size = self.index.partition_size(query_category)
         if size == 0:
             raise ValueError(f"category {query_category} has no items")
-        session_vec = self.session_vector(user, query_category, gate=gate)
+        with trace.span("session-vector"):
+            session_vec = self.session_vector(user, query_category, gate=gate)
         topn = size if self.config.is_exhaustive else min(self.config.retrieve_n, size)
-        candidates = self.index.search(
-            session_vec, query_category, topn=topn, nprobe=self.config.nprobe
-        )
+        with trace.span("ivf-probe", nprobe=self.config.nprobe, topn=topn) as probe_span:
+            candidates = self.index.search(
+                session_vec, query_category, topn=topn, nprobe=self.config.nprobe
+            )
+            probe_span.set(candidates=int(candidates.size))
         if self.config.prune is None or self.config.prune >= candidates.size:
             return candidates
-        boost = self._cross_counts(user, candidates) @ self._count_weights[
-            self._regime(user, query_category)
-        ]
-        return self.prefilter.prune(candidates, session_vec, self.config.prune, extra=boost)
+        with trace.span("prefilter", candidates=int(candidates.size)):
+            boost = self._cross_counts(user, candidates) @ self._count_weights[
+                self._regime(user, query_category)
+            ]
+            with trace.span("prune", survivors=int(self.config.prune)):
+                return self.prefilter.prune(
+                    candidates, session_vec, self.config.prune, extra=boost
+                )
 
     def score_candidates(
         self, user: int, query_category: int, candidates: np.ndarray

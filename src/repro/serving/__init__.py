@@ -21,9 +21,17 @@ high-throughput subsystem::
   N independent workers;
 * :mod:`~repro.serving.loadgen` — Zipf user traffic with Poisson arrivals;
 * :mod:`~repro.serving.metrics` — QPS, latency percentiles, batch-size
-  histogram, cache hit rate;
+  histogram, cache hit rate (bounded-memory streaming histograms by
+  default; Prometheus-text export via ``MetricsSink.prometheus_text``);
 * :mod:`~repro.serving.cost` / :mod:`~repro.serving.ab_test` — the paper's
   FLOP cost model and simulated online A/B test.
+
+Observability threads through every layer via :mod:`repro.obs`: pass a
+:class:`repro.obs.Tracer` to the engine/batcher/cluster for per-request
+span trees (submit → queue-wait → gate → retrieve → rank → flush, with
+cascade sub-stages and per-kernel rank children), and a
+:class:`repro.obs.SloTracker` to the cluster for sliding-window p99 and
+error-budget burn rate — surfaced by ``ShardedCluster.fleet_report()``.
 
 Scoring executes through the compiled inference path (:mod:`repro.infer`)
 by default: engines compile models into flat fused-kernel plans at

@@ -29,6 +29,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.data.schema import Batch
+from repro.obs.trace import NULL_SPAN, NULL_TRACE, NULL_TRACER
 from repro.serving.cache import SessionCache
 from repro.serving.engine import RankedList, SearchEngine
 from repro.serving.metrics import MetricsSink
@@ -56,6 +57,10 @@ class PreparedQuery:
     #: retrieved against embeddings the scoring model no longer owns and
     #: must be re-retrieved.
     cascade: Optional[object] = None
+    #: This request's trace (:data:`NULL_TRACE` when unsampled) and its
+    #: open ``queue-wait`` span, ended when the flush picks the query up.
+    trace: object = NULL_TRACE
+    queue_span: object = NULL_SPAN
 
     @property
     def num_candidates(self) -> int:
@@ -83,6 +88,13 @@ class MicroBatcher:
     clock:
         Time source in **seconds** (defaults to ``time.perf_counter``);
         tests pass a :class:`~repro.serving.metrics.ManualClock`.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  A sampled request's trace
+        follows it end to end: ``submit`` (with ``gate`` / ``retrieve`` /
+        ``assemble`` children), ``queue-wait`` (open from submit until the
+        flush picks the query up), and ``flush`` (with the shared batched
+        ``gate-flush`` and per-kernel ``rank`` work attached).  For
+        consistent span offsets, pass the tracer the same ``clock``.
     """
 
     def __init__(
@@ -93,6 +105,7 @@ class MicroBatcher:
         cache: Optional[SessionCache] = None,
         metrics: Optional[MetricsSink] = None,
         clock: Callable[[], float] = time.perf_counter,
+        tracer=None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -103,6 +116,7 @@ class MicroBatcher:
         self.flush_deadline_ms = float(flush_deadline_ms)
         self.cache = cache
         self.metrics = metrics if metrics is not None else MetricsSink(clock=clock)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._clock = clock
         self._pending: List[PreparedQuery] = []
 
@@ -118,7 +132,9 @@ class MicroBatcher:
         """Enqueue one query; returns flushed results when the size trigger
         fires, an empty list otherwise."""
         now = self._clock()
+        trace = self.tracer.trace("serve", user=int(user), category=int(query_category))
         use_gate = self.engine.supports_session_gate
+        submit_span = trace.begin("submit")
         behavior = None
         if self.cache is not None:
             behavior = self.cache.get_behavior(user)
@@ -133,16 +149,26 @@ class MicroBatcher:
         # gate again.
         gate = None
         generation = 0
-        if use_gate and self.cache is not None:
-            gate = self.cache.get_gate(user, query_category)
-            generation = self.cache.generation
-        if use_gate and gate is None and self.engine.cascade is not None:
-            gate = self.engine.cascade.resolve_gate(user, query_category)
-            if gate is not None and self.cache is not None:
-                self.cache.put_gate(user, query_category, gate)
+        with trace.span("gate") as gate_span:
+            if use_gate and self.cache is not None:
+                gate = self.cache.get_gate(user, query_category)
                 generation = self.cache.generation
-        candidates = self.engine.retrieve(query_category, user=user, gate=gate)
-        batch = self.engine.build_batch(user, query_category, candidates, behavior=behavior)
+            gate_span.set(cache_hit=gate is not None)
+            if use_gate and gate is None and self.engine.cascade is not None:
+                gate = self.engine.cascade.resolve_gate(user, query_category)
+                if gate is not None and self.cache is not None:
+                    self.cache.put_gate(user, query_category, gate)
+                    generation = self.cache.generation
+        with trace.span("retrieve", cascade=self.engine.cascade is not None) as span:
+            candidates = self.engine.retrieve(
+                query_category, user=user, gate=gate, trace=trace
+            )
+            span.set(candidates=int(candidates.size))
+        with trace.span("assemble"):
+            batch = self.engine.build_batch(
+                user, query_category, candidates, behavior=behavior
+            )
+        submit_span.end()
         self._pending.append(
             PreparedQuery(
                 user=user,
@@ -153,6 +179,8 @@ class MicroBatcher:
                 enqueue_time=now,
                 gate_generation=generation,
                 cascade=self.engine.cascade,
+                trace=trace,
+                queue_span=trace.begin("queue-wait"),
             )
         )
         if len(self._pending) >= self.max_batch_size:
@@ -191,11 +219,27 @@ class MicroBatcher:
     # execution
     # ------------------------------------------------------------------
     def flush(self) -> List[RankedList]:
-        """Score every pending query in one padded model forward."""
+        """Score every pending query in one padded model forward.
+
+        Sampled traces get the shared micro-batched work attached: each
+        opens a ``flush`` span holding the batched ``gate-flush`` forward
+        (timed once, recorded on every sampled trace) and the ``rank``
+        forward with one child span per fused kernel.
+        """
         if not self._pending:
             return []
         pending, self._pending = self._pending, []
         keys = pending[0].batch.keys()
+
+        for q in pending:
+            q.queue_span.end()
+        # (query, flush span) pairs for the sampled subset only — with
+        # tracing off this list is empty and nothing below touches it.
+        sampled = [
+            (q, q.trace.begin("flush", batch_size=len(pending)))
+            for q in pending
+            if q.trace.sampled
+        ]
 
         # Stale-retrieval guard: a model swap between submit and flush also
         # swaps the engine's cascade; candidates retrieved from the old
@@ -222,7 +266,15 @@ class MicroBatcher:
 
         gate_rows: Optional[np.ndarray] = None
         if self.engine.supports_session_gate:
+            missing = sum(1 for q in pending if q.gate is None)
+            gate_begin = self._clock()
             self._resolve_gates(pending, keys)
+            gate_end = self._clock()
+            for q, flush_span in sampled:
+                q.trace.record_span(
+                    "gate-flush", gate_begin, gate_end,
+                    parent=flush_span, sessions=missing,
+                )
             gate_rows = np.concatenate(
                 [np.tile(q.gate, (q.num_candidates, 1)) for q in pending], axis=0
             )
@@ -230,8 +282,31 @@ class MicroBatcher:
         combined: Batch = {
             key: np.concatenate([q.batch[key] for q in pending], axis=0) for key in keys
         }
-        scores = self.engine.score_candidates(combined, gate=gate_rows)
+        step_hook = None
+        rank_spans = []
+        if sampled:
+            total_rows = int(combined["label"].shape[0])
+            # ``begin`` nests each rank span under its trace's open flush
+            # span; the hook fans every kernel's interval out to all of them.
+            rank_spans = [
+                (q.trace, q.trace.begin("rank", rows=total_rows)) for q, _ in sampled
+            ]
+
+            def step_hook(step, seconds):
+                now = self._clock()
+                for trace, rank_span in rank_spans:
+                    trace.record_span(
+                        step.name, now - seconds, now,
+                        parent=rank_span, kind=step.kind, flops=step.flops,
+                    )
+
+        scores = self.engine.score_candidates(combined, gate=gate_rows, step_hook=step_hook)
+        for _, rank_span in rank_spans:
+            rank_span.end()
         self.metrics.record_batch(len(pending))
+
+        for _, flush_span in sampled:
+            flush_span.end()
 
         results: List[RankedList] = []
         done = self._clock()
@@ -243,6 +318,7 @@ class MicroBatcher:
             latency_ms = (done - q.enqueue_time) * 1000.0
             self.engine.record_query(latency_ms)
             self.metrics.record_query(latency_ms, now=done)
+            q.trace.finish(latency_ms=latency_ms, batch_size=len(pending))
             results.append(
                 RankedList(
                     user=q.user,

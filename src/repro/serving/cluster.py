@@ -23,12 +23,14 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.ranking_model import RankingModel
 from repro.data.synthetic import World
+from repro.obs import NULL_TRACER, SloTracker
 from repro.retrieval import CascadeConfig
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import SessionCache
 from repro.serving.engine import RankedList, SearchEngine
 from repro.serving.metrics import MetricsSink
 from repro.utils.rng import SeedBank
+from repro.utils.tables import format_table
 
 __all__ = ["ShardWorker", "ShardedCluster", "shard_for_user"]
 
@@ -74,14 +76,23 @@ class ShardedCluster:
         clock: Callable[[], float] = time.perf_counter,
         compile: bool = True,
         cascade: Optional[CascadeConfig] = None,
+        tracer=None,
+        slo: Optional[SloTracker] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         self.num_shards = int(num_shards)
+        self._clock = clock
+        #: Fleet tracer, shared by every shard's engine and batcher (one
+        #: sampling decision per request, wherever it lands).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Fleet SLO tracker: every shard's sink feeds the same sliding
+        #: windows, so p99 and burn rate are fleet-wide quantities.
+        self.slo = slo
         #: Fleet-level control-plane sink: one entry per deployment event
         #: (hot swap, canary verdict, click-log lag) regardless of shard
         #: count; merged into :meth:`merged_metrics`.
-        self.control = MetricsSink(clock=clock)
+        self.control = MetricsSink(clock=clock, slo=slo)
         bank = SeedBank(seed)
         self.workers: List[ShardWorker] = []
         # One cascade build for the whole fleet: shard 0 builds it, every
@@ -100,11 +111,12 @@ class ShardedCluster:
                 prebuilt_cascade=(
                     shared_cascade.worker_view() if shared_cascade is not None else None
                 ),
+                tracer=self.tracer,
             )
             if cascade is not None and shared_cascade is None:
                 shared_cascade = engine.cascade
             cache = SessionCache(cache_capacity)
-            metrics = MetricsSink(clock=clock)
+            metrics = MetricsSink(clock=clock, slo=slo)
             batcher = MicroBatcher(
                 engine,
                 max_batch_size=max_batch_size,
@@ -112,6 +124,7 @@ class ShardedCluster:
                 cache=cache,
                 metrics=metrics,
                 clock=clock,
+                tracer=self.tracer,
             )
             self.workers.append(ShardWorker(shard_id, engine, cache, batcher, metrics))
 
@@ -208,7 +221,10 @@ class ShardedCluster:
                     ),
                 )
             worker.cache.invalidate_all()
-        self.control.record_swap()
+        self.control.events.record(
+            "cache_invalidation", self._clock(), shards=self.num_shards
+        )
+        self.control.record_swap(version=version)
         return drained
 
     # ------------------------------------------------------------------
@@ -235,3 +251,67 @@ class ShardedCluster:
             for worker in self.workers
         ]
         return fleet
+
+    def fleet_report(self) -> str:
+        """Text dashboard of the fleet: headline metrics, per-shard
+        breakdown, SLO status, and the recent control-plane event tail —
+        what examples and benchmarks print after a traffic run."""
+        merged = self.merged_metrics()
+        summary = merged.summary()
+        latency = summary["latency_ms"]
+        version = self.model_version or "unversioned"
+        sections = [
+            format_table(
+                ["queries", "qps", "p50 ms", "p95 ms", "p99 ms", "mean batch", "cache hit"],
+                [[
+                    summary["queries"],
+                    f"{summary['qps']:.0f}",
+                    f"{latency['p50']:.2f}",
+                    f"{latency['p95']:.2f}",
+                    f"{latency['p99']:.2f}",
+                    f"{summary['mean_batch_size']:.2f}",
+                    f"{summary['cache']['hit_rate']:.1%}",
+                ]],
+                title=f"fleet — {self.num_shards} shard(s), model {version}",
+            ),
+            format_table(
+                ["shard", "queries", "avg ms", "cache hit"],
+                [
+                    [
+                        worker.shard_id,
+                        worker.metrics.queries,
+                        f"{worker.engine.avg_latency_ms:.2f}",
+                        f"{worker.cache.gate_hit_rate:.1%}",
+                    ]
+                    for worker in self.workers
+                ],
+                title="per-shard",
+            ),
+        ]
+        if self.slo is not None:
+            status = self.slo.status()
+            sections.append(
+                f"SLO: p99 {status['p99_ms']:.2f} ms vs {status['latency_slo_ms']:.2f} ms"
+                f" | violation rate {status['violation_rate']:.2%}"
+                f" | error-budget burn {status['error_budget_burn_rate']:.2f}x"
+                f" | {'HEALTHY' if status['healthy'] else 'BURNING'}"
+            )
+        if self.tracer.enabled:
+            stats = self.tracer.stats()
+            sections.append(
+                f"tracing: {stats['sampled']}/{stats['started']} requests sampled"
+                f" (rate {stats['sample_rate']:.2f}), {stats['exported']} exported"
+            )
+        events = self.control.events.tail(5)
+        if events:
+            sections.append(
+                format_table(
+                    ["t", "kind", "attrs"],
+                    [
+                        [f"{event.timestamp:.3f}", event.kind, str(event.attrs)]
+                        for event in events
+                    ],
+                    title="recent control-plane events",
+                )
+            )
+        return "\n\n".join(sections)

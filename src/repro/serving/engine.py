@@ -33,7 +33,6 @@ baselines) fall back to the eager ``Tensor`` forward transparently, and
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass
 from typing import Optional
 
@@ -48,13 +47,11 @@ from repro.data.features import (
 from repro.data.schema import Batch
 from repro.data.synthetic import World
 from repro.infer import CompiledModel, CompileError, compile_model
+from repro.obs import NULL_TRACE, NULL_TRACER
+from repro.obs.trace import kernel_span_hook
 from repro.retrieval import CascadeConfig, RetrievalCascade, category_popularity_probs
 
 __all__ = ["RankedList", "SearchEngine"]
-
-# One DeprecationWarning per process for the mean_latency_ms alias (tests
-# reset this to re-arm the warning).
-_MEAN_LATENCY_WARNED = False
 
 
 @dataclass
@@ -85,9 +82,14 @@ class SearchEngine:
         compile: bool = True,
         cascade: Optional[CascadeConfig] = None,
         prebuilt_cascade: Optional[RetrievalCascade] = None,
+        tracer=None,
     ) -> None:
         self.world = world
         self._rng = rng
+        #: Request tracer (:class:`repro.obs.Tracer`).  ``None`` installs the
+        #: shared no-op tracer, so instrumentation never branches on "is
+        #: tracing configured?" in the hot path.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.candidates_per_query = candidates_per_query or world.config.items_per_session
         self._by_category = [
             np.flatnonzero(world.item_category == cat)
@@ -178,6 +180,7 @@ class SearchEngine:
         query_category: int,
         user: Optional[int] = None,
         gate: Optional[np.ndarray] = None,
+        trace=NULL_TRACE,
     ) -> np.ndarray:
         """Candidate generation: the retrieval cascade when one is attached,
         the popularity-biased in-category sample otherwise.
@@ -202,7 +205,7 @@ class SearchEngine:
         if members.size == 0:
             raise ValueError(f"category {query_category} has no items")
         if self.cascade is not None and user is not None:
-            return self.cascade.retrieve(user, query_category, gate=gate)
+            return self.cascade.retrieve(user, query_category, gate=gate, trace=trace)
         if members.size <= self.candidates_per_query:
             return members.copy()
         return self._rng.choice(
@@ -234,7 +237,12 @@ class SearchEngine:
     # ------------------------------------------------------------------
     # scoring
     # ------------------------------------------------------------------
-    def score_candidates(self, batch: Batch, gate: Optional[np.ndarray] = None) -> np.ndarray:
+    def score_candidates(
+        self,
+        batch: Batch,
+        gate: Optional[np.ndarray] = None,
+        step_hook=None,
+    ) -> np.ndarray:
         """Predicted probabilities for every row of ``batch``.
 
         ``gate`` is an optional precomputed gate matrix ``(B, K)`` (or a
@@ -242,7 +250,22 @@ class SearchEngine:
         support gate overrides skip the gate network entirely — the §III-F1
         serving optimization.  Scoring executes the compiled plan when one
         exists; eager otherwise.
+
+        ``step_hook`` is a transient per-kernel ``(PlanStep, seconds)``
+        callback installed on the compiled score plan for this call only —
+        the tracer uses it to attach per-kernel spans to a sampled request.
+        It is ignored on the eager path (no kernel boundaries to time).
         """
+        if step_hook is not None and self.compiled_model is not None:
+            plan = self.compiled_model.score_plan
+            plan.step_hook = step_hook
+            try:
+                return self._score_candidates(batch, gate)
+            finally:
+                plan.step_hook = None
+        return self._score_candidates(batch, gate)
+
+    def _score_candidates(self, batch: Batch, gate: Optional[np.ndarray]) -> np.ndarray:
         if gate is not None and self.supports_session_gate:
             gate = np.asarray(gate, dtype=np.float32)
             if gate.ndim == 1:
@@ -289,17 +312,30 @@ class SearchEngine:
         With a cascade attached, the session gate is resolved **once** and
         shared by retrieval and scoring (§III-F1: the gate is a per-session
         quantity; evaluating it per stage would pay the cost twice).
+
+        When the engine's tracer samples the request, every stage (gate,
+        retrieve with cascade sub-stages, assemble, rank with per-kernel
+        children) lands as a span on the exported trace.
         """
+        trace = self.tracer.trace("search", user=int(user), category=int(query_category))
         start = time.perf_counter()
         gate = None
         if self.cascade is not None and self.supports_session_gate:
-            gate = self.cascade.resolve_gate(user, query_category)
-        candidates = self.retrieve(query_category, user=user, gate=gate)
-        batch = self.build_batch(user, query_category, candidates)
-        scores = self.score_candidates(batch, gate=gate)
+            with trace.span("gate", source="resolve"):
+                gate = self.cascade.resolve_gate(user, query_category)
+        with trace.span("retrieve", cascade=self.cascade is not None) as retrieve_span:
+            candidates = self.retrieve(query_category, user=user, gate=gate, trace=trace)
+            retrieve_span.set(candidates=int(candidates.size))
+        with trace.span("assemble"):
+            batch = self.build_batch(user, query_category, candidates)
+        with trace.span("rank", rows=int(candidates.size)) as rank_span:
+            scores = self.score_candidates(
+                batch, gate=gate, step_hook=kernel_span_hook(trace, rank_span)
+            )
         order = np.argsort(-scores, kind="stable")
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         self.record_query(elapsed_ms)
+        trace.finish(latency_ms=elapsed_ms)
         return RankedList(
             user=user,
             query_category=query_category,
@@ -328,23 +364,3 @@ class SearchEngine:
         if self.queries_served == 0:
             return 0.0
         return self.total_latency_ms / self.queries_served
-
-    @property
-    def mean_latency_ms(self) -> float:
-        """Deprecated alias of :attr:`avg_latency_ms`.
-
-        The two names accumulated independently-documented copies of the
-        same quantity; :attr:`avg_latency_ms` is canonical.  This alias
-        warns **once per process** — serving loops read latency stats per
-        query, and a warning per call would swamp the logs of any fleet
-        still on the old name — and will be removed.
-        """
-        global _MEAN_LATENCY_WARNED
-        if not _MEAN_LATENCY_WARNED:
-            _MEAN_LATENCY_WARNED = True
-            warnings.warn(
-                "SearchEngine.mean_latency_ms is deprecated; use avg_latency_ms",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-        return self.avg_latency_ms

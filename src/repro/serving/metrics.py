@@ -9,6 +9,19 @@ same sink, so one fleet report covers traffic *and* the feedback loop.  The
 sink is pure accounting — it never influences scheduling — so tests can
 assert on it without perturbing behaviour.
 
+The sink runs at **bounded memory** by default: latencies stream into a
+fixed-size exponential-bucket histogram
+(:class:`~repro.obs.streaming.StreamingHistogram`, quantile error ≤ 2%)
+instead of an unbounded Python list, and batch sizes into a small counts
+map — a sink that has absorbed ten million queries is the same size as one
+that absorbed ten.  ``exact=True`` opts back into the full per-query lists
+for tests that assert bitwise summaries.  Control events additionally land
+in a bounded :class:`~repro.obs.events.EventLog`, and an optional shared
+:class:`~repro.obs.slo.SloTracker` receives every latency for sliding-window
+SLO evaluation.  :meth:`MetricsSink.prometheus_text` /
+:meth:`MetricsSink.to_registry` export the whole sink as a Prometheus-style
+snapshot.
+
 Attaching the §III-F1 cost model (:meth:`MetricsSink.record_cost_model`)
 turns the cache hit counters into estimated FLOPs saved: every gate-cache
 hit skips one full gate-network evaluation.
@@ -25,6 +38,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.events import EventLog
+from repro.obs.slo import SloTracker
+from repro.obs.streaming import MetricsRegistry, StreamingHistogram
 from repro.serving.cache import CacheStats
 from repro.serving.cost import CascadeCostReport, GateCostReport
 
@@ -72,21 +88,56 @@ def latency_percentile(latencies_ms: Sequence[float], percentile: float) -> floa
     return sorted_percentile(np.sort(np.asarray(latencies_ms, dtype=float)), percentile)
 
 
-class MetricsSink:
-    """Accumulates per-query latencies, batch sizes, and cache counters."""
+#: Latency histogram layout shared by every sink so shard merges line up:
+#: 0.1 µs granularity floor, ≤ 2% quantile error, covers any float latency.
+_LATENCY_HIST_KWARGS = dict(min_value=1e-4, growth=1.04, num_buckets=2048)
 
-    def __init__(self, clock=time.perf_counter) -> None:
+
+class MetricsSink:
+    """Accumulates per-query latencies, batch sizes, and cache counters.
+
+    Parameters
+    ----------
+    clock:
+        Time source in seconds (completion timestamps and event stamps).
+    exact:
+        Keep the full per-query ``latencies_ms`` / ``batch_sizes`` lists and
+        compute bitwise-exact percentiles from them.  **Opt-in**: the
+        default streams into bounded structures (approximate quantiles,
+        O(1) memory) — lists are ``None`` then.
+    slo:
+        Optional shared :class:`~repro.obs.slo.SloTracker` fed every
+        recorded latency (a fleet typically shares one across shard sinks).
+    event_capacity:
+        Ring-buffer size of the control-plane :class:`EventLog`.
+    """
+
+    def __init__(
+        self,
+        clock=time.perf_counter,
+        exact: bool = False,
+        slo: Optional[SloTracker] = None,
+        event_capacity: int = 256,
+    ) -> None:
         self._clock = clock
-        self.latencies_ms: List[float] = []
-        self.batch_sizes: List[int] = []
+        self.exact = bool(exact)
+        self.latencies_ms: Optional[List[float]] = [] if self.exact else None
+        self.batch_sizes: Optional[List[int]] = [] if self.exact else None
+        # The streaming structures are maintained in both modes, so merges
+        # and Prometheus exports never depend on which mode a sink ran in.
+        self._latency_hist = StreamingHistogram(**_LATENCY_HIST_KWARGS)
+        self._batch_counts: Dict[int, int] = {}
         self.cache_stats = CacheStats()
         self._first_ts: Optional[float] = None
         self._last_ts: Optional[float] = None
-        # Online-loop events (see repro.online): counters plus gauges.
+        # Online-loop events (see repro.online): counters plus gauges,
+        # mirrored as typed entries in the bounded event log.
         self.swaps = 0
         self.canary_passes = 0
         self.canary_failures = 0
         self.log_lag = 0  # gauge: logged-but-unconsumed click sessions
+        self.events = EventLog(capacity=event_capacity)
+        self.slo = slo
         self.cost_model: Optional[GateCostReport] = None
         self.cascade_cost: Optional[CascadeCostReport] = None
 
@@ -96,34 +147,56 @@ class MetricsSink:
     def record_query(self, latency_ms: float, now: Optional[float] = None) -> None:
         """One served query: its end-to-end latency and completion time."""
         now = self._clock() if now is None else now
-        self.latencies_ms.append(float(latency_ms))
+        latency_ms = float(latency_ms)
+        self._latency_hist.record(latency_ms)
+        if self.latencies_ms is not None:
+            self.latencies_ms.append(latency_ms)
+        if self.slo is not None:
+            self.slo.record(latency_ms, now)
         if self._first_ts is None:
             self._first_ts = now
         self._last_ts = now
 
     def record_batch(self, size: int) -> None:
         """One model forward covering ``size`` coalesced queries."""
-        self.batch_sizes.append(int(size))
+        size = int(size)
+        self._batch_counts[size] = self._batch_counts.get(size, 0) + 1
+        if self.batch_sizes is not None:
+            self.batch_sizes.append(size)
 
     def record_cache(self, stats: CacheStats) -> None:
         """Snapshot cache counters (overwrites the previous snapshot)."""
         self.cache_stats = CacheStats(stats.hits, stats.misses, stats.evictions)
 
-    def record_swap(self) -> None:
+    def record_swap(self, version: Optional[str] = None) -> None:
         """One model hot-swap deployed into the serving stack."""
         self.swaps += 1
+        self.events.record("hot_swap", self._clock(), version=version)
 
-    def record_canary(self, passed: bool) -> None:
-        """One canary-gate verdict on a candidate model version."""
+    def record_canary(
+        self,
+        passed: bool,
+        version: Optional[str] = None,
+        recall: Optional[float] = None,
+    ) -> None:
+        """One canary-gate verdict on a candidate model version; ``recall``
+        forwards the retrieval probe's measurement when one ran."""
         if passed:
             self.canary_passes += 1
         else:
             self.canary_failures += 1
+        now = self._clock()
+        self.events.record("canary_verdict", now, passed=bool(passed), version=version)
+        if recall is not None:
+            self.events.record(
+                "recall_probe", now, recall=float(recall), version=version
+            )
 
     def record_log_lag(self, lag: int) -> None:
         """Gauge: click-log sessions appended but not yet consumed by the
         incremental trainer (freshness of the feedback loop)."""
         self.log_lag = int(lag)
+        self.events.record("click_log_lag", self._clock(), lag=int(lag))
 
     def record_cost_model(self, report: GateCostReport) -> None:
         """Attach the §III-F1 FLOP cost model so cache counters translate
@@ -142,7 +215,7 @@ class MetricsSink:
     # ------------------------------------------------------------------
     @property
     def queries(self) -> int:
-        return len(self.latencies_ms)
+        return self._latency_hist.count
 
     @property
     def wall_seconds(self) -> float:
@@ -160,20 +233,39 @@ class MetricsSink:
         return self.queries / span
 
     def percentile(self, p: float) -> float:
-        return latency_percentile(self.latencies_ms, p)
+        """Latency percentile: nearest-rank over the exact list in exact
+        mode, the streaming estimate (≤ 2% relative error) otherwise."""
+        if self.latencies_ms is not None:
+            return latency_percentile(self.latencies_ms, p)
+        return self._latency_hist.quantile(p)
+
+    @property
+    def batches(self) -> int:
+        """Number of model forwards (flushes) recorded."""
+        return sum(self._batch_counts.values())
 
     def batch_size_histogram(self) -> Dict[int, int]:
         """``{batch size: number of forwards}`` over all flushes."""
-        histogram: Dict[int, int] = {}
-        for size in self.batch_sizes:
-            histogram[size] = histogram.get(size, 0) + 1
-        return dict(sorted(histogram.items()))
+        if self.batch_sizes is not None:
+            # Exact mode keeps the raw list; one vectorized pass replaces
+            # the old per-element Python loop.
+            sizes, counts = np.unique(np.asarray(self.batch_sizes, dtype=np.int64), return_counts=True)
+            return {int(size): int(count) for size, count in zip(sizes, counts)}
+        return dict(sorted(self._batch_counts.items()))
 
     @property
     def mean_batch_size(self) -> float:
-        if not self.batch_sizes:
+        total = self.batches
+        if total == 0:
             return 0.0
-        return float(np.mean(self.batch_sizes))
+        return sum(size * count for size, count in self._batch_counts.items()) / total
+
+    @property
+    def max_batch_size(self) -> int:
+        """Largest flush recorded (0 before any batch)."""
+        if not self._batch_counts:
+            return 0
+        return max(self._batch_counts)
 
     @property
     def gate_flops_saved(self) -> int:
@@ -192,10 +284,24 @@ class MetricsSink:
 
         Online counters sum; the log-lag gauge takes the worst (largest)
         shard; the cost model carries over from whichever sink has one.
+        Streaming histograms add bucket-wise (associative, so shard merges
+        compose in any order); exact lists survive only when **both**
+        operands are exact — merging a streaming sink in demotes the result
+        to streaming, since the pooled list no longer exists.
         """
-        merged = MetricsSink(clock=self._clock)
-        merged.latencies_ms = self.latencies_ms + other.latencies_ms
-        merged.batch_sizes = self.batch_sizes + other.batch_sizes
+        merged = MetricsSink(
+            clock=self._clock,
+            exact=self.exact and other.exact,
+            slo=self.slo if self.slo is not None else other.slo,
+            event_capacity=max(self.events.capacity, other.events.capacity),
+        )
+        merged._latency_hist = self._latency_hist.merge(other._latency_hist)
+        if merged.exact:
+            merged.latencies_ms = list(self.latencies_ms) + list(other.latencies_ms)
+            merged.batch_sizes = list(self.batch_sizes) + list(other.batch_sizes)
+        for counts in (self._batch_counts, other._batch_counts):
+            for size, count in counts.items():
+                merged._batch_counts[size] = merged._batch_counts.get(size, 0) + count
         merged.cache_stats = self.cache_stats.merge(other.cache_stats)
         stamps = [ts for ts in (self._first_ts, other._first_ts) if ts is not None]
         merged._first_ts = min(stamps) if stamps else None
@@ -205,6 +311,7 @@ class MetricsSink:
         merged.canary_passes = self.canary_passes + other.canary_passes
         merged.canary_failures = self.canary_failures + other.canary_failures
         merged.log_lag = max(self.log_lag, other.log_lag)
+        merged.events = self.events.merge(other.events)
         merged.cost_model = self.cost_model if self.cost_model is not None else other.cost_model
         merged.cascade_cost = (
             self.cascade_cost if self.cascade_cost is not None else other.cascade_cost
@@ -214,21 +321,32 @@ class MetricsSink:
     def summary(self) -> Dict[str, object]:
         """One JSON-serializable report of every headline metric.
 
-        Latencies are sorted **once** per snapshot and every percentile is
-        read off the same sorted array (a three-quantile summary used to
-        sort the full list three times).
+        In exact mode latencies are sorted **once** per snapshot and every
+        percentile is read off the same sorted array; in streaming mode the
+        percentiles come from the bounded histogram (mean stays exact — the
+        histogram tracks the true sum).  The schema is identical either way.
         """
-        sorted_latencies = np.sort(np.asarray(self.latencies_ms, dtype=float))
-        return {
-            "queries": self.queries,
-            "qps": self.qps,
-            "latency_ms": {
+        if self.latencies_ms is not None:
+            sorted_latencies = np.sort(np.asarray(self.latencies_ms, dtype=float))
+            latency = {
                 "mean": float(sorted_latencies.mean()) if sorted_latencies.size else 0.0,
                 "p50": sorted_percentile(sorted_latencies, 50),
                 "p95": sorted_percentile(sorted_latencies, 95),
                 "p99": sorted_percentile(sorted_latencies, 99),
-            },
-            "batches": len(self.batch_sizes),
+            }
+        else:
+            hist = self._latency_hist
+            latency = {
+                "mean": hist.mean,
+                "p50": hist.quantile(50),
+                "p95": hist.quantile(95),
+                "p99": hist.quantile(99),
+            }
+        return {
+            "queries": self.queries,
+            "qps": self.qps,
+            "latency_ms": latency,
+            "batches": self.batches,
             "mean_batch_size": self.mean_batch_size,
             "batch_size_histogram": {
                 str(size): count for size, count in self.batch_size_histogram().items()
@@ -245,6 +363,8 @@ class MetricsSink:
                 "canary_failures": self.canary_failures,
                 "click_log_lag": self.log_lag,
             },
+            "events": self.events.counts(),
+            "slo": self.slo.status() if self.slo is not None else None,
             "cost": {
                 "gate_flops": self.cost_model.gate_flops if self.cost_model else None,
                 "gate_flops_saved_by_cache": self.gate_flops_saved,
@@ -254,3 +374,48 @@ class MetricsSink:
                 "cascade": self.cascade_cost.as_dict() if self.cascade_cost else None,
             },
         }
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_registry(self, prefix: str = "repro") -> MetricsRegistry:
+        """Snapshot as a :class:`~repro.obs.streaming.MetricsRegistry`
+        (Prometheus-name metrics); registries from several sinks merge."""
+        registry = MetricsRegistry()
+        registry.counter(f"{prefix}_queries_total", "queries served").inc(self.queries)
+        registry.counter(f"{prefix}_batches_total", "model forwards (flushes)").inc(self.batches)
+        registry.gauge(f"{prefix}_mean_batch_size", "mean coalesced batch size").set(
+            self.mean_batch_size
+        )
+        hist = registry.histogram(
+            f"{prefix}_latency_ms", "end-to-end query latency (ms)", **_LATENCY_HIST_KWARGS
+        )
+        np.copyto(hist.counts, self._latency_hist.counts)
+        hist.count = self._latency_hist.count
+        hist.total = self._latency_hist.total
+        hist.min = self._latency_hist.min
+        hist.max = self._latency_hist.max
+        registry.counter(f"{prefix}_cache_hits_total", "gate-cache hits").inc(
+            self.cache_stats.hits
+        )
+        registry.counter(f"{prefix}_cache_misses_total", "gate-cache misses").inc(
+            self.cache_stats.misses
+        )
+        registry.counter(f"{prefix}_cache_evictions_total", "gate-cache evictions").inc(
+            self.cache_stats.evictions
+        )
+        registry.counter(f"{prefix}_model_swaps_total", "hot swaps deployed").inc(self.swaps)
+        registry.counter(f"{prefix}_canary_passes_total", "canary verdicts: pass").inc(
+            self.canary_passes
+        )
+        registry.counter(f"{prefix}_canary_failures_total", "canary verdicts: fail").inc(
+            self.canary_failures
+        )
+        registry.gauge(
+            f"{prefix}_click_log_lag", "unconsumed click-log sessions"
+        ).set(self.log_lag)
+        return registry
+
+    def prometheus_text(self, prefix: str = "repro") -> str:
+        """Prometheus exposition-format snapshot of this sink."""
+        return self.to_registry(prefix=prefix).prometheus_text()

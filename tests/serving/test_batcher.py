@@ -31,7 +31,7 @@ class TestFlushTriggers:
         results = batcher.submit(3, 2)  # third query hits the size trigger
         assert len(results) == 3
         assert batcher.pending == 0
-        assert batcher.metrics.batch_sizes == [3]
+        assert batcher.metrics.batch_size_histogram() == {3: 1}
 
     def test_flush_on_deadline(self, unit_world, test_set):
         clock = ManualClock()

@@ -85,8 +85,8 @@ class TestReplay:
         assert engine.queries_served == 30
         # Deadline flushes fired along the way: more than one batch, none
         # larger than the size cap.
-        assert len(batcher.metrics.batch_sizes) >= 2
-        assert max(batcher.metrics.batch_sizes) <= 4
+        assert batcher.metrics.batches >= 2
+        assert batcher.metrics.max_batch_size <= 4
 
     def test_sparse_traffic_latency_bounded_by_deadline(self, unit_world, test_set):
         """Deadline flushes fire *at the deadline* in simulated time, not at
@@ -152,7 +152,7 @@ class TestMetricsSink:
     def test_summary_is_json_ready(self):
         import json
 
-        sink = MetricsSink(clock=ManualClock())
+        sink = MetricsSink(clock=ManualClock(), exact=True)
         sink.record_query(5.0, now=0.0)
         sink.record_query(7.0, now=1.0)
         sink.record_batch(2)
@@ -213,10 +213,11 @@ class TestOnlineEventMetrics:
         }
 
     def test_summary_percentiles_match_single_sort(self):
-        """summary() sorts the latency list once and must read the same
-        nearest-rank values latency_percentile computes from scratch."""
+        """In exact mode summary() sorts the latency list once and must read
+        the same nearest-rank values latency_percentile computes from
+        scratch."""
         rng = np.random.default_rng(8)
-        sink = MetricsSink(clock=ManualClock())
+        sink = MetricsSink(clock=ManualClock(), exact=True)
         for value in rng.random(257) * 100:
             sink.record_query(float(value))
         summary = sink.summary()

@@ -1,7 +1,5 @@
 """Serving cost model, engine simulator, and A/B test."""
 
-import warnings
-
 import numpy as np
 import pytest
 
@@ -145,31 +143,10 @@ class TestSearchEngine:
         engine = SearchEngine(unit_world, model, np.random.default_rng(1))
         assert engine.avg_latency_ms == 0.0
 
-    def test_mean_latency_deprecated_alias(self, engine, monkeypatch):
-        from repro.serving import engine as engine_module
-
-        monkeypatch.setattr(engine_module, "_MEAN_LATENCY_WARNED", False)
-        engine.search(1, 0)
-        with pytest.warns(DeprecationWarning, match="avg_latency_ms"):
-            legacy = engine.mean_latency_ms
-        assert legacy == engine.avg_latency_ms
-        assert engine.avg_latency_ms > 0
-
-    def test_mean_latency_alias_warns_once_per_process(self, engine, monkeypatch):
-        """Serving loops poll latency per query; the alias must not emit a
-        warning per call, only on first use."""
-        from repro.serving import engine as engine_module
-
-        monkeypatch.setattr(engine_module, "_MEAN_LATENCY_WARNED", False)
-        engine.search(1, 0)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            for _ in range(5):
-                engine.mean_latency_ms
-        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
-        assert len(deprecations) == 1
-        # The value keeps flowing after the warning is spent.
-        assert engine.mean_latency_ms == engine.avg_latency_ms
+    def test_mean_latency_alias_removed(self, engine):
+        """The deprecated ``mean_latency_ms`` alias (warned since PR 3) is
+        gone; ``avg_latency_ms`` is the only name."""
+        assert not hasattr(engine, "mean_latency_ms")
 
     def test_reset_stats(self, engine):
         engine.search(1, 0)

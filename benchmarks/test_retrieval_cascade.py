@@ -39,7 +39,8 @@ from _helpers import compare_to_artifact
 from repro.core import ModelConfig, TrainConfig, build_model, train_model
 from repro.data import WorldConfig
 from repro.data.synthetic import build_train_dataset, generate_world, simulate_search_log
-from repro.retrieval import CascadeConfig
+from repro.obs import ShadowRecallMonitor
+from repro.retrieval import CascadeConfig, RetrievalProbe
 from repro.serving import (
     SearchEngine,
     ShardedCluster,
@@ -198,9 +199,26 @@ def test_retrieval_cascade_speedup_and_recall():
         cache_capacity=2048,
         cascade=CASCADE,
     )
-    start = time.perf_counter()
-    fleet_results = replay(cluster, events)
-    fleet_qps = NUM_QUERIES / (time.perf_counter() - start)
+    # Re-time the exhaustive baseline interleaved with the fleet replay:
+    # the fleet-vs-exhaustive gate below compares two wall-clock numbers,
+    # and when the suite has been running for minutes the machine drifts —
+    # measured minutes apart, that drift can exceed the gate's margin.
+    # Interleaved best-of-2 (same rationale as the single-engine section
+    # above) makes the ratio a property of the code; the table and speedup
+    # still report the earlier numbers.
+    adjacent_exhaustive_seconds = fleet_seconds = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        for event in events:
+            exhaustive.search(event.user, event.query_category)
+        adjacent_exhaustive_seconds = min(
+            adjacent_exhaustive_seconds, time.perf_counter() - start
+        )
+        start = time.perf_counter()
+        fleet_results = replay(cluster, events)
+        fleet_seconds = min(fleet_seconds, time.perf_counter() - start)
+    adjacent_exhaustive_qps = NUM_QUERIES / adjacent_exhaustive_seconds
+    fleet_qps = NUM_QUERIES / fleet_seconds
     assert len(fleet_results) == NUM_QUERIES
     fleet_recall = float(
         np.mean(
@@ -209,6 +227,30 @@ def test_retrieval_cascade_speedup_and_recall():
                 for r in fleet_results
             ]
         )
+    )
+
+    # Shadow-recall acceptance: attach a 100%-rate shadow monitor *after*
+    # the timed replay (a full-rate oracle re-run per query would dominate
+    # the QPS measurement; production runs at ~0.5%) and replay the same
+    # traffic — the live monitor's estimate must agree with the canary
+    # RetrievalProbe run offline over the same queries.  Both consult the
+    # exhaustive oracle, so any gap is a wiring bug.
+    shadow = ShadowRecallMonitor(rate=1.0, k=10)
+    cluster.attach_shadow_recall(shadow)
+    replay(cluster, events)
+    assert shadow.samples == NUM_QUERIES
+    probe = RetrievalProbe(
+        world,
+        CASCADE,
+        queries=[(e.user, e.query_category) for e in events],
+        k=10,
+        min_recall=0.0,
+    )
+    _, probe_recall = probe.check(model)
+    shadow_gap = abs(shadow.recall_at_k - probe_recall)
+    assert shadow_gap <= 0.02, (
+        f"shadow recall {shadow.recall_at_k:.3f} vs probe {probe_recall:.3f} "
+        f"(gap {shadow_gap:.3f} > 0.02)"
     )
 
     # -- FLOP cost model ---------------------------------------------------
@@ -245,6 +287,13 @@ def test_retrieval_cascade_speedup_and_recall():
         },
         "exhaustive": {"qps": exhaustive_qps},
         "fleet": {"num_shards": 2, "qps": fleet_qps, "recall_at_10": fleet_recall},
+        "shadow_recall": {
+            "rate": 1.0,
+            "samples": shadow.samples,
+            "recall_at_10": shadow.recall_at_k,
+            "probe_recall_at_10": probe_recall,
+            "gap": shadow_gap,
+        },
         "sweep": sweep_report,
         "cost_model": cost.as_dict(),
     }
@@ -288,7 +337,7 @@ def test_retrieval_cascade_speedup_and_recall():
     assert fleet_recall >= RECALL_FLOOR - 0.02
     if STRICT_TIMING:
         assert speedup >= 5.0, f"cascade speedup {speedup:.2f}x < 5x"
-        assert fleet_qps > exhaustive_qps
+        assert fleet_qps > adjacent_exhaustive_qps
     else:
         assert speedup > 2.0
         if speedup < 5.0:

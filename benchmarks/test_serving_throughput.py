@@ -39,7 +39,7 @@ import numpy as np
 
 from _helpers import compare_profile_shares, compare_to_artifact
 from repro.infer import PlanProfiler, compile_model
-from repro.obs import JsonlTraceExporter, SloTracker, Tracer
+from repro.obs import JsonlTraceExporter, ShadowRecallMonitor, SloTracker, Tracer
 from repro.retrieval import CascadeConfig
 from repro.serving import (
     MetricsSink,
@@ -357,8 +357,13 @@ def test_tracing_overhead(search_data, trained_models):
     the disabled path must regress batched throughput by **less than 5%**.
 
     The full-sampling column is informational (it is *supposed* to cost
-    something); only the disabled ratio is gated, and only on quiet
+    something); only the disabled ratios are gated, and only on quiet
     machines — smoke/CI runs sanity-check direction and record the artifact.
+
+    A second pair extends the guard to the full monitor stack (ISSUE PR 7):
+    a cascade-backed engine with a 0%-rate shadow-recall monitor and a
+    0%-sampling tracer attached must also stay within 5% of the same
+    engine with no monitors at all.
     """
     world, _, _ = search_data
     model, _ = trained_models["aw_moe"]
@@ -380,16 +385,68 @@ def test_tracing_overhead(search_data, trained_models):
         assert len(results) == NUM_QUERIES
         return seconds
 
-    def best_seconds(make_tracer):
-        return min(run_once(make_tracer()) for _ in range(repeats))
-
-    # Interleaving would be fairer under drifting load, but best-of-N per
-    # configuration already discards one-off hiccups at this duration.
-    baseline = best_seconds(lambda: None)
-    disabled = best_seconds(lambda: Tracer(sample_rate=0.0))
-    sampled = best_seconds(lambda: Tracer(sample_rate=1.0))
+    # Round-robin the configurations inside each repeat: when the suite has
+    # been running for minutes, machine speed drifts monotonically, and
+    # measuring each configuration as one contiguous block lands all of
+    # that drift on one side of the ratio.  Interleaving cancels it;
+    # best-of-N still discards one-off hiccups.
+    configs = {
+        "baseline": lambda: None,
+        "disabled": lambda: Tracer(sample_rate=0.0),
+        "sampled": lambda: Tracer(sample_rate=1.0),
+    }
+    samples = {name: [] for name in configs}
+    for _ in range(repeats):
+        for name, make_tracer in configs.items():
+            samples[name].append(run_once(make_tracer()))
+    baseline, disabled, sampled = (
+        min(samples[name]) for name in ("baseline", "disabled", "sampled")
+    )
     disabled_overhead = disabled / baseline - 1.0
     sampled_overhead = sampled / baseline - 1.0
+    # Measured quietness beats guessing from env vars: if the identical
+    # baseline workload doesn't reproduce within 5% run-to-run, a <5%
+    # overhead gate compares noise with noise — warn instead of assert.
+    baseline_jitter = max(samples["baseline"]) / min(samples["baseline"]) - 1.0
+    quiet = baseline_jitter < 0.05
+
+    # -- full monitor stack attached but disabled -----------------------
+    # Shadow recall only exercises the cascade retrieval path, so this
+    # pair runs a cascade-backed engine: plain versus the same engine with
+    # a 0%-sampling shadow-recall monitor and a 0%-sampling tracer.  The
+    # monitored path pays only the per-request sampling decisions.
+    cascade = CascadeConfig(
+        retrieve_n=24, prune=12, nprobe=2,
+        calibration_queries=32, calibration_items=64,
+    )
+
+    def run_cascade_once(shadow, tracer):
+        engine = SearchEngine(
+            world,
+            model,
+            np.random.default_rng(7),
+            cascade=cascade,
+            shadow_recall=shadow,
+        )
+        batcher = MicroBatcher(
+            engine,
+            max_batch_size=MAX_BATCH,
+            flush_deadline_ms=50.0,
+            cache=SessionCache(2048),
+            tracer=tracer,
+        )
+        results, seconds = _timed(lambda: replay(batcher, events))
+        assert len(results) == NUM_QUERIES
+        return seconds
+
+    cascade_baseline = monitored = float("inf")
+    for _ in range(repeats):  # interleaved, same rationale as above
+        cascade_baseline = min(cascade_baseline, run_cascade_once(None, None))
+        monitored = min(
+            monitored,
+            run_cascade_once(ShadowRecallMonitor(rate=0.0), Tracer(sample_rate=0.0)),
+        )
+    monitors_overhead = monitored / cascade_baseline - 1.0
 
     report = {
         "smoke": SMOKE,
@@ -400,6 +457,10 @@ def test_tracing_overhead(search_data, trained_models):
         "sampled_tracer_qps": NUM_QUERIES / sampled,
         "disabled_overhead": disabled_overhead,
         "sampled_overhead": sampled_overhead,
+        "baseline_jitter": baseline_jitter,
+        "cascade_baseline_qps": NUM_QUERIES / cascade_baseline,
+        "monitors_disabled_qps": NUM_QUERIES / monitored,
+        "monitors_disabled_overhead": monitors_overhead,
     }
     OBSERVABILITY_ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
     OBSERVABILITY_ARTIFACT.write_text(json.dumps(report, indent=2))
@@ -412,21 +473,32 @@ def test_tracing_overhead(search_data, trained_models):
              f"{disabled_overhead:+.1%}"],
             ["tracer, 100% sampled", f"{NUM_QUERIES / sampled:.0f}",
              f"{sampled_overhead:+.1%}"],
+            ["cascade, no monitors", f"{NUM_QUERIES / cascade_baseline:.0f}", "-"],
+            ["cascade, monitors off", f"{NUM_QUERIES / monitored:.0f}",
+             f"{monitors_overhead:+.1%}"],
         ],
         title=f"Tracing overhead — {NUM_QUERIES} Zipf queries "
         f"(artifact: {OBSERVABILITY_ARTIFACT.name})",
     )
 
-    if STRICT_TIMING:
+    if STRICT_TIMING and quiet:
         assert disabled_overhead < 0.05
-    elif disabled_overhead >= 0.05:
-        warnings.warn(
-            f"disabled-tracer overhead {disabled_overhead:.1%} >= 5% "
-            "(noisy runner or a real regression — see the artifact)",
-            stacklevel=2,
-        )
-    # Any environment: the disabled path must not be catastrophically slower.
+        assert monitors_overhead < 0.05
+    else:
+        for label, overhead in (
+            ("disabled-tracer", disabled_overhead),
+            ("monitors-disabled", monitors_overhead),
+        ):
+            if overhead >= 0.05:
+                warnings.warn(
+                    f"{label} overhead {overhead:.1%} >= 5% "
+                    f"(baseline jitter {baseline_jitter:.1%}; noisy runner "
+                    "or a real regression — see the artifact)",
+                    stacklevel=2,
+                )
+    # Any environment: the disabled paths must not be catastrophically slower.
     assert disabled_overhead < 0.5
+    assert monitors_overhead < 0.5
 
 
 def test_traced_fleet_artifacts(search_data, trained_models):

@@ -112,7 +112,10 @@ def train_step(
             optimizer.zero_grad()
         loss.backward()
         if config.grad_clip:
-            clip_grad_norm(model.parameters(), config.grad_clip)
+            # clip_grad_norm returns the pre-clip global norm — the training
+            # health signal the refresh-cycle telemetry streams (a norm spike
+            # on a fresh click window is the earliest divergence symptom).
+            extra["grad_norm"] = float(clip_grad_norm(model.parameters(), config.grad_clip))
         for optimizer in optimizers:
             optimizer.step()
     if arena is not None:

@@ -16,14 +16,32 @@ package is the instrument layer threaded through all of them:
   verdicts, recall probes, click-log lag) in a bounded ring buffer;
 * :mod:`~repro.obs.slo` — sliding-window p99 and error-budget burn rate;
 * :mod:`~repro.obs.profiler` — per-kernel timing + FLOP attribution for
-  compiled :class:`~repro.infer.plan.InferencePlan` executions.
+  compiled :class:`~repro.infer.plan.InferencePlan` executions;
+* :mod:`~repro.obs.drift` — streaming PSI/KS between a training-time
+  reference sketch and live-traffic sketches (mergeable across shards);
+* :mod:`~repro.obs.recall` — head-sampled live retrieval recall@k, the
+  online counterpart of the build-time :class:`~repro.retrieval.RetrievalProbe`;
+* :mod:`~repro.obs.alerts` — declarative :class:`AlertRule` predicates over
+  the telemetry snapshot, evaluated with hysteresis into typed events;
+* :mod:`~repro.obs.dashboard` — the whole telemetry surface rendered into
+  one self-contained HTML file.
 
 Everything here is numpy-and-stdlib only and imports nothing from the
 serving stack — serving imports obs, never the reverse.
 """
 
+from repro.obs.alerts import AlertManager, AlertRule, AlertTransition, telemetry_snapshot
+from repro.obs.dashboard import render_dashboard, write_dashboard
+from repro.obs.drift import (
+    DriftMonitor,
+    ks_from_counts,
+    ks_statistic,
+    population_stability_index,
+    psi_from_counts,
+)
 from repro.obs.events import EVENT_KINDS, Event, EventLog
 from repro.obs.profiler import PlanProfiler
+from repro.obs.recall import ShadowRecallMonitor
 from repro.obs.slo import SloTracker
 from repro.obs.streaming import Counter, Gauge, MetricsRegistry, StreamingHistogram
 from repro.obs.trace import (
@@ -40,6 +58,18 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AlertManager",
+    "AlertRule",
+    "AlertTransition",
+    "telemetry_snapshot",
+    "render_dashboard",
+    "write_dashboard",
+    "DriftMonitor",
+    "ShadowRecallMonitor",
+    "psi_from_counts",
+    "ks_from_counts",
+    "population_stability_index",
+    "ks_statistic",
     "EVENT_KINDS",
     "Event",
     "EventLog",

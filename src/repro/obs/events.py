@@ -25,6 +25,9 @@ EVENT_KINDS = frozenset(
         "recall_probe",  # a cascade retrieval-recall probe measurement
         "click_log_lag",  # feedback-loop freshness observation
         "cache_invalidation",  # session-cache generation bump
+        "drift_score",  # per-cycle live-vs-reference drift measurement
+        "alert_fired",  # an AlertRule crossed its hysteresis fire threshold
+        "alert_resolved",  # a firing AlertRule cleared
     }
 )
 

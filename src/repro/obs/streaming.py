@@ -265,6 +265,20 @@ class MetricsRegistry:
         return self._get_or_create(name, lambda: Gauge(name, help), Gauge)
 
     def histogram(self, name: str, help: str = "", **kwargs: Any) -> StreamingHistogram:
+        existing = self._metrics.get(name)
+        if isinstance(existing, StreamingHistogram):
+            # A second registration must agree on the bucket layout: silently
+            # returning the existing histogram under different kwargs would
+            # hand the caller the wrong resolution (and make later shard
+            # merges fail far from the offending call site).
+            for key, value in kwargs.items():
+                if key not in ("min_value", "growth", "num_buckets"):
+                    raise TypeError(f"unknown histogram option {key!r} for {name!r}")
+                if float(getattr(existing, key)) != float(value):
+                    raise ValueError(
+                        f"histogram {name!r} already registered with "
+                        f"{key}={getattr(existing, key)!r}, conflicting with {key}={value!r}"
+                    )
         return self._get_or_create(
             name, lambda: StreamingHistogram(name, help, **kwargs), StreamingHistogram
         )

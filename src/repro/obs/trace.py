@@ -26,6 +26,7 @@ ingest directly.
 from __future__ import annotations
 
 import json
+import os
 import random
 import time
 from collections import deque
@@ -279,18 +280,56 @@ def kernel_span_hook(trace: Any, parent: Any) -> Optional[Callable]:
 
 
 class JsonlTraceExporter:
-    """Append finished traces to a JSONL file, one trace per line."""
+    """Append finished traces to a JSONL file, one trace per line.
 
-    def __init__(self, path: str) -> None:
+    Growth is bounded: with ``max_bytes`` set, the active file rotates once
+    the next record would push it past the cap — ``path`` is renamed to
+    ``path.1`` (existing rotations shift to ``path.2`` … ``path.keep``, the
+    oldest dropped) and a fresh file is opened.  A long traced run then
+    holds at most ``(keep + 1) * max_bytes`` on disk instead of appending
+    forever.  A single record larger than ``max_bytes`` still writes whole
+    (into its own file) — records are never split or silently dropped.
+    """
+
+    def __init__(self, path: str, max_bytes: Optional[int] = None, keep: int = 3) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be > 0, got {max_bytes}")
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
         self.path = str(path)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self.keep = int(keep)
         self.traces_written = 0
+        self.rotations = 0
+        self.bytes_written = 0  # in the currently active file
         self._fh = None
 
     def export(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        nbytes = len(line.encode("utf-8"))
         if self._fh is None:
             self._fh = open(self.path, "w", encoding="utf-8")
-        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self.bytes_written = 0
+        if (
+            self.max_bytes is not None
+            and self.bytes_written > 0
+            and self.bytes_written + nbytes > self.max_bytes
+        ):
+            self._rotate()
+        self._fh.write(line)
+        self.bytes_written += nbytes
         self.traces_written += 1
+
+    def _rotate(self) -> None:
+        self._fh.close()
+        for index in range(self.keep - 1, 0, -1):
+            source = f"{self.path}.{index}"
+            if os.path.exists(source):
+                os.replace(source, f"{self.path}.{index + 1}")
+        os.replace(self.path, f"{self.path}.1")
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self.bytes_written = 0
+        self.rotations += 1
 
     def close(self) -> None:
         if self._fh is not None:

@@ -36,6 +36,7 @@ from repro.eval.auc import session_auc
 from repro.eval.evaluator import predict_scores
 from repro.eval.ndcg import session_ndcg
 from repro.infer import CompileError, compile_model
+from repro.obs import NULL_TRACE
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.retrieval import RetrievalProbe
@@ -136,6 +137,7 @@ class CanaryGate:
         candidate: RankingModel,
         production: Optional[RankingModel],
         holdout: RankingDataset,
+        trace=NULL_TRACE,
     ) -> CanaryReport:
         """Replay ``holdout`` through both models and compare.
 
@@ -143,17 +145,27 @@ class CanaryGate:
         default on the ranking metrics — there is nothing it could regress
         against — but a configured retrieval probe still applies: a
         first-deployment index built from a broken table must not serve.
+
+        ``trace`` accepts the refresh cycle's :class:`~repro.obs.Trace`: the
+        candidate/production replays and the retrieval probe land as child
+        spans under the caller's open ``canary`` span, so a slow judgement
+        is attributable to its stage (the probe's cascade rebuild dominates
+        at large catalogs).
         """
         # One compile per judgement: weights cannot change mid-call, so the
         # replay and the retrieval probe share the same scoring surface.
         candidate_scorer = self._scorer(candidate)
-        candidate_metrics = self._evaluate_with(candidate_scorer, holdout)
+        with trace.span("replay", model="candidate", rows=len(holdout)) as span:
+            candidate_metrics = self._evaluate_with(candidate_scorer, holdout)
+            span.set(**{name: round(value, 6) for name, value in candidate_metrics.items()})
         reasons: List[str] = []
         if self.retrieval_probe is not None:
             # The probe's cascade build scores through the same compiled
             # surface the fleet's swap will rebuild from, so the canary
             # gates the retrieval stack production would actually serve.
-            ok, recall = self.retrieval_probe.check(candidate, scorer=candidate_scorer)
+            with trace.span("recall-probe") as span:
+                ok, recall = self.retrieval_probe.check(candidate, scorer=candidate_scorer)
+                span.set(recall=recall, passed=ok)
             candidate_metrics["retrieval_recall"] = recall
             if not ok:
                 reasons.append(
@@ -167,7 +179,8 @@ class CanaryGate:
                 production=None,
                 reasons=tuple(reasons),
             )
-        production_metrics = self.evaluate(production, holdout)
+        with trace.span("replay", model="production", rows=len(holdout)):
+            production_metrics = self.evaluate(production, holdout)
         for name in self.metrics:
             floor = production_metrics[name] - self.tolerance
             if candidate_metrics[name] < floor:

@@ -18,6 +18,7 @@ stopped (``tests/online/test_incremental.py`` asserts this).
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.core.config import TrainConfig
@@ -25,6 +26,7 @@ from repro.core.ranking_model import RankingModel
 from repro.core.trainer import build_optimizers, build_strategy, train_step
 from repro.data.dataset import RankingDataset, iterate_batches
 from repro.nn import GradArena, load_training_state, save_training_state
+from repro.obs import NULL_TRACE, MetricsRegistry
 from repro.utils.logging import RunLog
 from repro.utils.rng import SeedBank
 
@@ -48,9 +50,21 @@ class IncrementalTrainer:
         Root seed.  Every update derives its shuffle / contrastive streams
         from ``(seed, update_index)``, which makes a restored trainer's next
         update identical to an uninterrupted one.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`.  When attached, every
+        train step streams its wall-clock (``train_step_ms``), loss
+        (``train_loss``), and pre-clip gradient norm (``train_grad_norm``)
+        into fixed-size histograms, plus a ``train_steps_total`` counter —
+        the learning-loop half of the fleet's telemetry.
     """
 
-    def __init__(self, model: RankingModel, config: TrainConfig, seed: int = 0) -> None:
+    def __init__(
+        self,
+        model: RankingModel,
+        config: TrainConfig,
+        seed: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if config.contrastive and not model.supports_contrastive:
             raise TypeError(
                 f"contrastive training requested but {type(model).__name__} "
@@ -59,6 +73,7 @@ class IncrementalTrainer:
         self.model = model
         self.config = config
         self.seed = int(seed)
+        self.metrics = metrics
         self.optimizers = build_optimizers(model, config)
         self.strategy = build_strategy(config)
         # One arena for the trainer's lifetime: refresh cycles run the same
@@ -71,13 +86,24 @@ class IncrementalTrainer:
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
-    def update(self, dataset: RankingDataset, log: Optional[RunLog] = None) -> RunLog:
+    def update(
+        self,
+        dataset: RankingDataset,
+        log: Optional[RunLog] = None,
+        trace=NULL_TRACE,
+    ) -> RunLog:
         """One refresh cycle: ``config.epochs`` passes over ``dataset``.
 
         Windows smaller than ``config.batch_size`` train as a single full
         batch (a refresh must never be silently skipped because traffic was
         light); under the contrastive objective, batches too small for
         in-batch negative sampling are dropped instead.
+
+        ``trace`` accepts the refresh cycle's :class:`~repro.obs.Trace`:
+        each epoch becomes a child span (nested under the caller's open
+        ``train`` span) carrying its mean loss and gradient norm, so a
+        refresh trace shows *where inside training* the time and the loss
+        went, not just that training happened.
         """
         if log is None:
             log = RunLog(name=f"{type(self.model).__name__}-update{self.updates}")
@@ -89,24 +115,56 @@ class IncrementalTrainer:
         self.model.train()
         step = 0
         for epoch in range(self.config.epochs):
-            for batch in iterate_batches(dataset, batch_size, rng=shuffle_rng):
-                if batch["label"].shape[0] < min_rows:
-                    continue
-                step += 1
-                metrics = train_step(
-                    self.model,
-                    batch,
-                    self.config,
-                    self.optimizers,
-                    self.strategy,
-                    cl_rng,
-                    self.arena,
-                )
-                log.log(step, epoch=epoch, **metrics)
+            epoch_steps = 0
+            loss_sum = 0.0
+            grad_norm_sum = 0.0
+            with trace.span("epoch", index=epoch) as epoch_span:
+                for batch in iterate_batches(dataset, batch_size, rng=shuffle_rng):
+                    if batch["label"].shape[0] < min_rows:
+                        continue
+                    step += 1
+                    step_start = time.perf_counter()
+                    metrics = train_step(
+                        self.model,
+                        batch,
+                        self.config,
+                        self.optimizers,
+                        self.strategy,
+                        cl_rng,
+                        self.arena,
+                    )
+                    log.log(step, epoch=epoch, **metrics)
+                    epoch_steps += 1
+                    loss_sum += metrics["loss"]
+                    grad_norm_sum += metrics.get("grad_norm", 0.0)
+                    if self.metrics is not None:
+                        self._record_step_metrics(
+                            (time.perf_counter() - step_start) * 1000.0, metrics
+                        )
+                if epoch_steps:
+                    epoch_span.set(
+                        steps=epoch_steps,
+                        mean_loss=loss_sum / epoch_steps,
+                        mean_grad_norm=grad_norm_sum / epoch_steps,
+                    )
         self.model.eval()
         self.updates += 1
         self.total_steps += step
         return log
+
+    def _record_step_metrics(self, elapsed_ms: float, metrics: dict) -> None:
+        registry = self.metrics
+        registry.counter("train_steps_total", "train steps across all refreshes").inc()
+        registry.histogram("train_step_ms", "per-step training wall-clock (ms)").record(
+            elapsed_ms
+        )
+        registry.histogram("train_loss", "per-step training loss").record(
+            max(metrics["loss"], 0.0)
+        )
+        if "grad_norm" in metrics:
+            registry.histogram("train_grad_norm", "pre-clip global gradient norm").record(
+                metrics["grad_norm"]
+            )
 
     # ------------------------------------------------------------------
     # checkpointing

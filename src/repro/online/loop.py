@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.core.ranking_model import RankingModel
 from repro.data.synthetic import World
+from repro.obs import NULL_TRACER, AlertManager, DriftMonitor, telemetry_snapshot
 from repro.online.canary import CanaryGate, CanaryReport
 from repro.online.click_log import ClickLog, build_dataset
 from repro.online.click_model import PositionBiasedClickModel
@@ -61,6 +62,12 @@ class CycleReport:
     promoted: bool = False
     canary: Optional[CanaryReport] = None
     production_version: Optional[int] = None
+    #: Per-feature drift scores of this cycle's live window vs the current
+    #: production model's training reference (``None`` until a reference
+    #: exists, i.e. before the first promotion freezes one).
+    drift: Optional[dict] = None
+    #: Alert rules that fired or resolved during this cycle.
+    alerts: Optional[list] = None
 
     def summary(self) -> dict:
         """JSON-serializable view (the benchmark artifact rows)."""
@@ -74,6 +81,10 @@ class CycleReport:
             "candidate_version": self.candidate_version,
             "promoted": self.promoted,
             "production_version": self.production_version,
+            "drift": None
+            if self.drift is None
+            else {name: round(scores["psi"], 6) for name, scores in self.drift.items()},
+            "alerts": self.alerts,
             "canary": None
             if self.canary is None
             else {
@@ -110,6 +121,25 @@ class OnlineLoop:
     clock:
         Optional :class:`~repro.serving.metrics.ManualClock` for
         deterministic simulated-time replay (also timestamps click records).
+    tracer:
+        Optional :class:`~repro.obs.Tracer` for **refresh-cycle traces**:
+        each :meth:`run_cycle` emits one span tree (``serve → read_new →
+        train [per-epoch children] → register → canary [replay +
+        recall-probe children] → swap``) — the learning-loop counterpart of
+        the fleet's per-request traces.
+    drift:
+        Optional :class:`~repro.obs.DriftMonitor`.  Served sessions stream
+        CTR, predicted scores, score-calibration gap, and shown-item
+        price/popularity into its live sketches; each promotion freezes the
+        live window as the new production model's training-time reference
+        (that window *is* the click log the candidate trained on).
+    alerts:
+        Optional :class:`~repro.obs.AlertManager`, evaluated once per cycle
+        against the merged telemetry snapshot (trainer metrics, fleet SLO,
+        drift scores, click-log lag, shadow recall).  Unless it already has
+        an event log, it is bound to the cluster's control-plane
+        :class:`~repro.obs.EventLog`, so alert transitions interleave with
+        hot swaps and canary verdicts in one timeline.
     """
 
     def __init__(
@@ -125,6 +155,9 @@ class OnlineLoop:
         holdout_every: int = 5,
         seed: int = 0,
         clock: Optional[ManualClock] = None,
+        tracer=None,
+        drift: Optional[DriftMonitor] = None,
+        alerts: Optional[AlertManager] = None,
     ) -> None:
         if holdout_every < 2:
             raise ValueError(f"holdout_every must be >= 2, got {holdout_every}")
@@ -138,6 +171,11 @@ class OnlineLoop:
         self.click_log = click_log if click_log is not None else ClickLog()
         self.holdout_every = int(holdout_every)
         self.clock = clock
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.drift = drift
+        self.alerts = alerts
+        if alerts is not None and alerts.events is None:
+            alerts.events = cluster.control.events
         self._neg_rng = np.random.default_rng(np.random.SeedSequence(seed))
         self._production_model: Optional[RankingModel] = None
         self.cycles_run = 0
@@ -212,7 +250,78 @@ class OnlineLoop:
                 model_version=ranking.model_version,
                 timestamp=self._now(),
             )
+            if self.drift is not None:
+                self._observe_drift(ranking, shown, clicks)
         return results
+
+    def _observe_drift(self, ranking: RankedList, shown: int, clicks: np.ndarray) -> None:
+        """Stream one served session's features into the live drift sketches.
+
+        The feature set covers the three drift surfaces worth alarming on:
+        *behaviour* (session CTR), *model output* (mean/top predicted score
+        and the |score − CTR| calibration gap — a model can keep its score
+        distribution while its calibration walks away), and *inventory
+        exposure* (price/popularity of what was actually shown, which moves
+        when user interests rotate onto different catalog regions).
+        """
+        drift = self.drift
+        scores = ranking.scores[:shown]
+        ctr = float(clicks.mean()) if clicks.size else 0.0
+        mean_score = float(scores.mean()) if scores.size else 0.0
+        drift.observe("ctr", ctr)
+        drift.observe("mean_score", mean_score)
+        drift.observe("top_score", float(ranking.scores[0]) if ranking.scores.size else 0.0)
+        drift.observe("calibration_gap", abs(mean_score - ctr))
+        shown_items = ranking.items[:shown]
+        if shown_items.size:
+            drift.observe("price", float(self.world.item_price_pct[shown_items].mean()))
+            drift.observe(
+                "popularity", float(self.world.item_popularity[shown_items].mean())
+            )
+
+    def _score_drift_and_alert(self, report: CycleReport) -> None:
+        """Score this cycle's live window vs the reference; evaluate alerts.
+
+        Runs right after serving — *before* training — so a drifted window
+        alarms in the same cycle it was served, whether or not the refresh
+        goes on to promote.  Scores land as a ``drift_score`` control-plane
+        event; alert transitions record their own typed events.
+        """
+        now = self._now()
+        if self.drift is not None and self.drift.has_reference:
+            report.drift = self.drift.scores()
+            worst_name, worst_psi = self.drift.worst()
+            self.cluster.control.events.record(
+                "drift_score",
+                now,
+                worst_feature=worst_name,
+                worst_psi=round(worst_psi, 4),
+                **{
+                    f"psi_{name}": round(scores["psi"], 4)
+                    for name, scores in report.drift.items()
+                },
+            )
+        if self.alerts is not None:
+            extra = {"click_log_lag": float(self.click_log.lag)}
+            shadow = getattr(self.cluster, "shadow_recall", None)
+            if shadow is not None and shadow.samples:
+                extra["retrieval_recall_at_k"] = shadow.recall_at_k
+            snapshot = telemetry_snapshot(
+                registry=self.trainer.metrics,
+                slo=self.cluster.slo,
+                drift=self.drift,
+                extra=extra,
+            )
+            transitions = self.alerts.evaluate(snapshot, now)
+            if transitions:
+                report.alerts = [
+                    {
+                        "rule": transition.rule.name,
+                        "action": transition.action,
+                        "value": transition.value,
+                    }
+                    for transition in transitions
+                ]
 
     def run_cycle(self, events: Sequence[TrafficEvent]) -> CycleReport:
         """One full refresh cycle; returns its audit report.
@@ -223,49 +332,77 @@ class OnlineLoop:
         if self.registry.production is None:
             raise RuntimeError("call bootstrap() before running cycles")
         cycle = self.cycles_run
-        results = self.serve_and_log(events)
+        trace = self.tracer.trace("refresh", cycle=cycle)
+        with trace.span("serve", events=len(events)):
+            results = self.serve_and_log(events)
 
         lag = self.click_log.lag
         self.cluster.control.record_log_lag(lag)
-        records = self.click_log.read_new()
-        holdout_rows = set(range(self.holdout_every - 1, len(records), self.holdout_every))
-        holdout_records = [records[i] for i in sorted(holdout_rows)]
-        train_records = [
-            record for i, record in enumerate(records) if i not in holdout_rows
-        ]
-        train_set = build_dataset(self.world, train_records, rng=self._neg_rng)
-        holdout_set = build_dataset(self.world, holdout_records)
 
         report = CycleReport(
             cycle=cycle,
             queries_served=len(results),
-            sessions_logged=len(records),
-            clicks=int(sum(record.num_clicks for record in records)),
+            sessions_logged=0,
+            clicks=0,
             log_lag=lag,
-            train_rows=0 if train_set is None else len(train_set),
+            train_rows=0,
             production_version=self.production_version,
         )
+        # Drift is judged on what was just *served* — before training, so a
+        # drifted window alarms this cycle even if the refresh then fails.
+        self._score_drift_and_alert(report)
+
+        with trace.span("read_new") as read_span:
+            records = self.click_log.read_new()
+            holdout_rows = set(
+                range(self.holdout_every - 1, len(records), self.holdout_every)
+            )
+            holdout_records = [records[i] for i in sorted(holdout_rows)]
+            train_records = [
+                record for i, record in enumerate(records) if i not in holdout_rows
+            ]
+            train_set = build_dataset(self.world, train_records, rng=self._neg_rng)
+            holdout_set = build_dataset(self.world, holdout_records)
+            read_span.set(
+                sessions=len(records),
+                train_rows=0 if train_set is None else len(train_set),
+                holdout_rows=0 if holdout_set is None else len(holdout_set),
+            )
+
+        report.sessions_logged = len(records)
+        report.clicks = int(sum(record.num_clicks for record in records))
+        report.train_rows = 0 if train_set is None else len(train_set)
         self.cycles_run += 1
         if train_set is None:
+            if self.drift is not None:
+                self.drift.reset_live()
+            trace.finish(promoted=False, reason="no_usable_feedback")
             self.reports.append(report)
             return report
 
         # Incremental warm-start training on the fresh window.
         parent = self.production_version
         window = (records[0].session_id, records[-1].session_id + 1)
-        self.trainer.update(train_set)
-        entry = self.registry.register(
-            self.trainer.model, parent=parent, window=window, trainer=self.trainer
-        )
+        with trace.span("train", rows=len(train_set), epochs=self.trainer.config.epochs):
+            self.trainer.update(train_set, trace=trace)
+        with trace.span("register") as register_span:
+            entry = self.registry.register(
+                self.trainer.model, parent=parent, window=window, trainer=self.trainer
+            )
+            register_span.set(version=self.registry.label(entry.version))
         report.candidate_version = entry.version
 
         # Canary: candidate vs production on the held-out sessions.  With no
         # usable holdout this cycle, promotion proceeds on the training
         # evidence alone (tiny-traffic regime; the verdict is still logged).
         if holdout_set is not None:
-            report.canary = self.canary.judge(
-                self.trainer.model, self._production_model, holdout_set
-            )
+            with trace.span(
+                "canary", version=self.registry.label(entry.version)
+            ) as canary_span:
+                report.canary = self.canary.judge(
+                    self.trainer.model, self._production_model, holdout_set, trace=trace
+                )
+                canary_span.set(passed=report.canary.passed)
             passed = report.canary.passed
             # The verdict lands in the fleet's control-plane event log with
             # the candidate's label and — when the retrieval probe ran — its
@@ -283,17 +420,34 @@ class OnlineLoop:
             passed = True
         if passed:
             metrics = None if report.canary is None else report.canary.candidate
-            self.registry.promote(entry.version, metrics=metrics)
-            self._deploy(entry.version)
+            with trace.span("swap", version=self.registry.label(entry.version)):
+                self.registry.promote(entry.version, metrics=metrics)
+                self._deploy(entry.version)
+            if self.drift is not None:
+                # The live window just served is the click-log window the
+                # promoted candidate trained on: freeze it as the new
+                # production model's training-time reference.
+                self.drift.freeze_reference()
         else:
-            self.registry.reject(entry.version, metrics=report.canary.candidate)
-            # Roll the training twin back to the production lineage: a bad
-            # update must not become the base of the next candidate (it
-            # would poison every future refresh while the registry claimed
-            # clean descent from production).  Loop-managed versions always
-            # carry full training state, so optimizer moments roll back too.
-            self.registry.load_into(parent, self.trainer.model, trainer=self.trainer)
+            with trace.span("rollback", version=self.registry.label(entry.version)):
+                self.registry.reject(entry.version, metrics=report.canary.candidate)
+                # Roll the training twin back to the production lineage: a
+                # bad update must not become the base of the next candidate
+                # (it would poison every future refresh while the registry
+                # claimed clean descent from production).  Loop-managed
+                # versions always carry full training state, so optimizer
+                # moments roll back too.
+                self.registry.load_into(parent, self.trainer.model, trainer=self.trainer)
+            if self.drift is not None:
+                # Production did not change; next cycle compares its own
+                # window against the same reference, not an accumulation.
+                self.drift.reset_live()
         report.promoted = passed
         report.production_version = self.production_version
+        trace.finish(
+            promoted=passed,
+            version=self.registry.label(entry.version),
+            sessions=len(records),
+        )
         self.reports.append(report)
         return report

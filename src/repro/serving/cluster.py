@@ -23,7 +23,14 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.ranking_model import RankingModel
 from repro.data.synthetic import World
-from repro.obs import NULL_TRACER, SloTracker
+from repro.obs import (
+    NULL_TRACER,
+    AlertManager,
+    DriftMonitor,
+    ShadowRecallMonitor,
+    SloTracker,
+    write_dashboard,
+)
 from repro.retrieval import CascadeConfig
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import SessionCache
@@ -78,6 +85,9 @@ class ShardedCluster:
         cascade: Optional[CascadeConfig] = None,
         tracer=None,
         slo: Optional[SloTracker] = None,
+        shadow_recall: Optional[ShadowRecallMonitor] = None,
+        drift: Optional[DriftMonitor] = None,
+        alerts: Optional[AlertManager] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -89,6 +99,16 @@ class ShardedCluster:
         #: Fleet SLO tracker: every shard's sink feeds the same sliding
         #: windows, so p99 and burn rate are fleet-wide quantities.
         self.slo = slo
+        #: Fleet shadow-recall monitor, shared by every shard's engine (one
+        #: sampling stream and one running recall across the fleet).
+        self.shadow_recall = shadow_recall
+        #: Optional fleet drift monitor / alert manager.  The cluster never
+        #: feeds them itself — the online loop owns observation and
+        #: evaluation — but holding references here lets ``fleet_report()``
+        #: and the HTML dashboard surface their state next to the serving
+        #: metrics they alarm on.
+        self.drift = drift
+        self.alerts = alerts
         #: Fleet-level control-plane sink: one entry per deployment event
         #: (hot swap, canary verdict, click-log lag) regardless of shard
         #: count; merged into :meth:`merged_metrics`.
@@ -112,6 +132,7 @@ class ShardedCluster:
                     shared_cascade.worker_view() if shared_cascade is not None else None
                 ),
                 tracer=self.tracer,
+                shadow_recall=shadow_recall,
             )
             if cascade is not None and shared_cascade is None:
                 shared_cascade = engine.cascade
@@ -227,6 +248,18 @@ class ShardedCluster:
         self.control.record_swap(version=version)
         return drained
 
+    def attach_shadow_recall(self, monitor: Optional[ShadowRecallMonitor]) -> None:
+        """Attach (or replace, or with ``None`` detach) the fleet's shared
+        shadow-recall monitor at runtime.
+
+        The ops pattern this serves: warm or benchmark a fleet clean, then
+        switch sampling on — every shard's engine consults ``monitor`` on
+        its next cascade retrieval.
+        """
+        self.shadow_recall = monitor
+        for worker in self.workers:
+            worker.engine.shadow_recall = monitor
+
     # ------------------------------------------------------------------
     # fleet metrics
     # ------------------------------------------------------------------
@@ -252,10 +285,59 @@ class ShardedCluster:
         ]
         return fleet
 
-    def fleet_report(self) -> str:
+    def dashboard(
+        self, path: str, registry=None, title: str = "repro fleet", traces=None
+    ) -> str:
+        """Write the self-contained HTML dashboard; returns ``path``.
+
+        Renders everything the text :meth:`fleet_report` shows — fleet
+        summary, streaming metrics, SLO, control-plane events — plus the
+        drift, alert, and shadow-recall panels and the tracer's recent
+        sampled span trees (request traces and, when the online loop shares
+        this tracer, refresh-cycle traces).  ``registry`` merges extra
+        metrics in (the online loop passes the trainer's registry so
+        train-step histograms land on the same page).  ``traces`` overrides
+        the trace list — pass ``list(loop.tracer.finished)`` to render the
+        refresh-cycle spans when the loop's tracer is separate from the
+        cluster's request tracer.
+        """
+        merged_registry = self.merged_metrics().to_registry()
+        if registry is not None:
+            merged_registry = merged_registry.merge(registry)
+        summary = self.summary()
+        flat_summary = {
+            "shards": self.num_shards,
+            "model_version": self.model_version or "unversioned",
+            "queries": summary["queries"],
+            "qps": round(summary["qps"], 1),
+            "p50_ms": round(summary["latency_ms"]["p50"], 3),
+            "p99_ms": round(summary["latency_ms"]["p99"], 3),
+            "mean_batch": round(summary["mean_batch_size"], 2),
+            "cache_hit_rate": round(summary["cache"]["hit_rate"], 4),
+        }
+        return write_dashboard(
+            path,
+            title=title,
+            summary=flat_summary,
+            registry=merged_registry,
+            slo=self.slo,
+            events=self.control.events,
+            drift=self.drift,
+            alerts=self.alerts,
+            shadow=self.shadow_recall,
+            traces=(
+                traces
+                if traces is not None
+                else (list(self.tracer.finished) if self.tracer.enabled else None)
+            ),
+        )
+
+    def fleet_report(self, dashboard_path: Optional[str] = None) -> str:
         """Text dashboard of the fleet: headline metrics, per-shard
-        breakdown, SLO status, and the recent control-plane event tail —
-        what examples and benchmarks print after a traffic run."""
+        breakdown, SLO status, drift/alert/shadow-recall state, and the
+        recent control-plane event tail — what examples and benchmarks
+        print after a traffic run.  ``dashboard_path`` additionally writes
+        the HTML dashboard there and appends its location to the report."""
         merged = self.merged_metrics()
         summary = merged.summary()
         latency = summary["latency_ms"]
@@ -302,6 +384,43 @@ class ShardedCluster:
                 f"tracing: {stats['sampled']}/{stats['started']} requests sampled"
                 f" (rate {stats['sample_rate']:.2f}), {stats['exported']} exported"
             )
+        if self.shadow_recall is not None and self.shadow_recall.samples:
+            shadow = self.shadow_recall
+            sections.append(
+                f"shadow recall@{shadow.k}: {shadow.recall_at_k:.4f} over "
+                f"{shadow.samples}/{shadow.requests} sampled retrievals"
+                f" (rate {shadow.rate:.3%})"
+            )
+        if self.drift is not None and self.drift.has_reference:
+            sections.append(
+                format_table(
+                    ["feature", "psi", "ks", "live n"],
+                    [
+                        [name, f"{scores['psi']:.4f}", f"{scores['ks']:.4f}",
+                         scores["live_samples"]]
+                        for name, scores in sorted(self.drift.scores().items())
+                    ],
+                    title="drift vs training reference",
+                )
+            )
+        if self.alerts is not None and self.alerts.rules:
+            firing = self.alerts.firing()
+            sections.append(
+                format_table(
+                    ["rule", "predicate", "state", "last value"],
+                    [
+                        [
+                            row["rule"],
+                            f"{row['metric']} {row['op']} {row['threshold']:g}",
+                            "FIRING" if row["firing"] else "ok",
+                            "-" if row["last_value"] is None
+                            else f"{row['last_value']:.4f}",
+                        ]
+                        for row in self.alerts.status()
+                    ],
+                    title=f"alerts — {len(firing)} firing",
+                )
+            )
         events = self.control.events.tail(5)
         if events:
             sections.append(
@@ -314,4 +433,6 @@ class ShardedCluster:
                     title="recent control-plane events",
                 )
             )
+        if dashboard_path is not None:
+            sections.append(f"dashboard: {self.dashboard(dashboard_path)}")
         return "\n\n".join(sections)

@@ -47,7 +47,7 @@ from repro.data.features import (
 from repro.data.schema import Batch
 from repro.data.synthetic import World
 from repro.infer import CompiledModel, CompileError, compile_model
-from repro.obs import NULL_TRACE, NULL_TRACER
+from repro.obs import NULL_TRACE, NULL_TRACER, ShadowRecallMonitor
 from repro.obs.trace import kernel_span_hook
 from repro.retrieval import CascadeConfig, RetrievalCascade, category_popularity_probs
 
@@ -83,9 +83,16 @@ class SearchEngine:
         cascade: Optional[CascadeConfig] = None,
         prebuilt_cascade: Optional[RetrievalCascade] = None,
         tracer=None,
+        shadow_recall: Optional[ShadowRecallMonitor] = None,
     ) -> None:
         self.world = world
         self._rng = rng
+        #: Optional :class:`~repro.obs.ShadowRecallMonitor`: a head-sampled
+        #: fraction of live cascade retrievals is re-run through the
+        #: exhaustive oracle (full-model top-k over every category member —
+        #: the ``nprobe="all"``/``prune=None`` surface) after the query is
+        #: answered, measuring live recall@k.  Shards share one monitor.
+        self.shadow_recall = shadow_recall
         #: Request tracer (:class:`repro.obs.Tracer`).  ``None`` installs the
         #: shared no-op tracer, so instrumentation never branches on "is
         #: tracing configured?" in the hot path.
@@ -205,7 +212,12 @@ class SearchEngine:
         if members.size == 0:
             raise ValueError(f"category {query_category} has no items")
         if self.cascade is not None and user is not None:
-            return self.cascade.retrieve(user, query_category, gate=gate, trace=trace)
+            candidates = self.cascade.retrieve(user, query_category, gate=gate, trace=trace)
+            if self.shadow_recall is not None and self.shadow_recall.should_sample():
+                with trace.span("shadow-recall") as span:
+                    recall = self._shadow_probe(user, query_category, candidates)
+                    span.set(recall=recall, k=self.shadow_recall.k)
+            return candidates
         if members.size <= self.candidates_per_query:
             return members.copy()
         return self._rng.choice(
@@ -214,6 +226,32 @@ class SearchEngine:
             replace=False,
             p=self._category_pop_probs[query_category],
         )
+
+    def _shadow_probe(
+        self, user: int, query_category: int, candidates: np.ndarray
+    ) -> float:
+        """Measure live recall@k of ``candidates`` vs the exhaustive oracle.
+
+        The oracle is the same surface :class:`~repro.retrieval.RetrievalProbe`
+        checks at canary time — the serving model's own top-``k`` over
+        *every* category member (what the cascade's exhaustive-parity mode
+        ``nprobe="all"``/``prune=None`` would rank) — but computed on a live
+        query, after the cascade's answer already shipped.  Off the hot path
+        by sampling, not by threading: the ~0.5% default rate keeps the full
+        category scan amortized to noise (gated in
+        ``benchmarks/test_serving_throughput.py``).
+        """
+        monitor = self.shadow_recall
+        members = self._by_category[query_category]
+        batch = self.build_batch(user, query_category, members)
+        scorer = self.compiled_model if self.compiled_model is not None else self.model
+        full_scores = np.asarray(scorer.predict_proba(batch))
+        k = min(monitor.k, members.size)
+        oracle = members[np.argsort(-full_scores, kind="stable")[:k]]
+        kept = set(int(item) for item in candidates)
+        recall = sum(1 for item in oracle.tolist() if item in kept) / k
+        monitor.observe(recall)
+        return recall
 
     def build_batch(
         self,

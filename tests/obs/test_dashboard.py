@@ -1,0 +1,101 @@
+"""Dashboard rendering: every panel, escaping, and the written artifact."""
+
+from repro.obs import (
+    AlertManager,
+    DriftMonitor,
+    InMemoryExporter,
+    MetricsRegistry,
+    EventLog,
+    ShadowRecallMonitor,
+    SloTracker,
+    Tracer,
+    render_dashboard,
+    write_dashboard,
+)
+from repro.serving import ManualClock
+
+
+def _full_telemetry():
+    registry = MetricsRegistry()
+    registry.counter("queries_total", "queries").inc(100)
+    registry.gauge("log_lag").set(2.0)
+    registry.histogram("latency_ms", "latency").record_many([1.0, 2.0, 9.0])
+    slo = SloTracker(latency_slo_ms=50.0)
+    slo.record(5.0, now=0.0)
+    events = EventLog()
+    events.record("hot_swap", 1.0, version="v0002")
+    drift = DriftMonitor(min_samples=1)
+    drift.observe_many("ctr", [0.1] * 40)
+    drift.freeze_reference()
+    drift.observe_many("ctr", [0.9] * 40)
+    alerts = AlertManager(["ctr-drift: drift_psi_ctr > 0.25 severity critical"], events=events)
+    alerts.evaluate({"drift_psi_ctr": drift.psi("ctr")}, 2.0)
+    shadow = ShadowRecallMonitor(rate=1.0, k=10)
+    shadow.observe(0.9)
+    clock = ManualClock()
+    tracer = Tracer(sample_rate=1.0, exporter=InMemoryExporter(), clock=clock)
+    trace = tracer.trace("refresh", cycle=0)
+    with trace.span("serve"):
+        clock.advance(0.001)
+        with trace.span("rank"):
+            clock.advance(0.001)
+    trace.finish(promoted=True)
+    return dict(
+        summary={"shards": 2, "qps": 512.3},
+        registry=registry,
+        slo=slo,
+        events=events,
+        drift=drift,
+        alerts=alerts,
+        shadow=shadow,
+        traces=list(tracer.finished),
+    )
+
+
+class TestRenderDashboard:
+    def test_all_panels_render(self):
+        html = render_dashboard(title="unit fleet", **_full_telemetry())
+        assert html.startswith("<!DOCTYPE html>")
+        assert "unit fleet" in html
+        # One recognizable anchor per panel.
+        assert "qps" in html and "512.3" in html  # summary
+        assert "ctr-drift" in html and "FIRING" in html  # alerts
+        assert "drift" in html  # drift panel with the feature row
+        assert "Shadow-sampled live recall" in html  # shadow panel
+        assert "latency_ms" in html and "queries_total" in html  # registry
+        assert "hot_swap" in html and "alert_fired" in html  # event tail
+        assert "refresh" in html and "serve" in html and "rank" in html  # trace tree
+
+    def test_empty_dashboard_still_valid(self):
+        html = render_dashboard(title="empty")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "empty" in html
+
+    def test_attribute_values_are_escaped(self):
+        events = EventLog()
+        events.record("hot_swap", 0.0, note="<script>alert(1)</script>")
+        html = render_dashboard(events=events)
+        assert "<script>alert(1)</script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_drift_without_reference_shows_placeholder(self):
+        drift = DriftMonitor()
+        drift.observe("ctr", 0.1)
+        html = render_dashboard(drift=drift)
+        assert "no reference frozen yet" in html
+
+    def test_self_contained_single_document(self):
+        html = render_dashboard(**_full_telemetry())
+        # No external fetches: inline style only, no script/src/link tags.
+        assert "<link" not in html and "src=" not in html
+        assert "<style>" in html
+
+
+class TestWriteDashboard:
+    def test_writes_the_rendered_document(self, tmp_path):
+        path = tmp_path / "dash.html"
+        returned = write_dashboard(str(path), title="written fleet", **_full_telemetry())
+        assert returned == str(path)
+        content = path.read_text()
+        assert content.startswith("<!DOCTYPE html>")
+        assert "written fleet" in content

@@ -1,0 +1,216 @@
+"""Drift monitors: PSI/KS correctness, reference lifecycle, merge laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    DriftMonitor,
+    StreamingHistogram,
+    ks_from_counts,
+    ks_statistic,
+    population_stability_index,
+    psi_from_counts,
+)
+
+values_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestPsiFromCounts:
+    def test_identical_distributions_score_exactly_zero(self):
+        counts = np.array([5, 40, 30, 25, 0, 10], dtype=np.int64)
+        assert psi_from_counts(counts, counts) == 0.0
+        # Scale invariance: PSI compares proportions, not raw mass.
+        assert psi_from_counts(counts, counts * 7) == 0.0
+
+    def test_closed_form_two_bucket_shift(self):
+        """Hand-computable pair: (50,50) vs (10,90).
+
+        PSI = (0.5-0.1)*ln(0.5/0.1) + (0.5-0.9)*ln(0.5/0.9)
+            = 0.4*ln(5) - 0.4*ln(5/9) = 0.8788898309344878.
+        """
+        psi = psi_from_counts([50, 50], [10, 90])
+        assert psi == pytest.approx(0.8788898309344878, abs=1e-12)
+
+    def test_symmetry(self):
+        a, b = [50, 50], [10, 90]
+        assert psi_from_counts(a, b) == pytest.approx(psi_from_counts(b, a))
+
+    def test_empty_side_scores_zero(self):
+        assert psi_from_counts([1, 2, 3], [0, 0, 0]) == 0.0
+        assert psi_from_counts([0, 0], [0, 0]) == 0.0
+
+    def test_disjoint_support_is_large_but_finite(self):
+        psi = psi_from_counts([100, 0], [0, 100])
+        assert np.isfinite(psi)
+        assert psi > 10.0  # epsilon-clamped, far beyond the 0.25 alarm line
+
+    def test_unpopulated_buckets_do_not_contribute(self):
+        # Padding both sides with shared empty buckets must not change PSI.
+        base = psi_from_counts([50, 50], [10, 90])
+        padded = psi_from_counts([50, 50, 0, 0], [10, 90, 0, 0])
+        assert padded == pytest.approx(base)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            psi_from_counts([1, 2], [1, 2, 3])
+
+
+class TestKsFromCounts:
+    def test_identical_is_zero_and_disjoint_is_one(self):
+        counts = np.array([10, 20, 30], dtype=np.int64)
+        assert ks_from_counts(counts, counts) == 0.0
+        assert ks_from_counts([100, 0], [0, 100]) == pytest.approx(1.0)
+
+    def test_known_cdf_gap(self):
+        # CDFs: ref (0.5, 1.0) vs live (0.1, 1.0) -> max gap 0.4.
+        assert ks_from_counts([50, 50], [10, 90]) == pytest.approx(0.4)
+
+
+class TestHistogramScoring:
+    def test_layout_mismatch_rejected(self):
+        ref = StreamingHistogram(min_value=0.05, growth=1.35, num_buckets=32)
+        live = StreamingHistogram(min_value=0.05, growth=1.5, num_buckets=32)
+        with pytest.raises(ValueError, match="layout"):
+            population_stability_index(ref, live)
+        with pytest.raises(ValueError, match="layout"):
+            ks_statistic(ref, live)
+
+    def test_histogram_psi_matches_counts_psi(self):
+        ref = StreamingHistogram(min_value=0.05, growth=1.35, num_buckets=32)
+        live = StreamingHistogram(min_value=0.05, growth=1.35, num_buckets=32)
+        rng = np.random.default_rng(0)
+        ref.record_many(rng.uniform(0.0, 1.0, 500).tolist())
+        live.record_many(rng.beta(2.0, 5.0, 500).tolist())
+        assert population_stability_index(ref, live) == pytest.approx(
+            psi_from_counts(ref.counts, live.counts)
+        )
+        assert ks_statistic(ref, live) == pytest.approx(
+            ks_from_counts(ref.counts, live.counts)
+        )
+
+
+class TestMergeLaw:
+    @settings(max_examples=100, deadline=None)
+    @given(ref=values_strategy, a=values_strategy, b=values_strategy)
+    def test_merge_then_score_equals_score_of_merged(self, ref, a, b):
+        """Sharded scoring law: merging two workers' live sketches and scoring
+        must equal scoring one sketch that saw all the traffic."""
+
+        def monitor(live_values):
+            m = DriftMonitor(min_samples=1)
+            m.observe_many("f", ref)
+            m.freeze_reference()
+            m.observe_many("f", live_values)
+            return m
+
+        merged_monitors = monitor(a).merge(monitor(b))
+        pooled = monitor(a + b)
+        assert merged_monitors.psi("f") == pytest.approx(pooled.psi("f"))
+        assert merged_monitors.ks("f") == pytest.approx(pooled.ks("f"))
+        assert merged_monitors.live_samples("f") == pooled.live_samples("f")
+
+
+class TestDriftMonitorLifecycle:
+    def test_no_reference_means_no_scores(self):
+        monitor = DriftMonitor(min_samples=1)
+        monitor.observe("ctr", 0.3)
+        assert not monitor.has_reference
+        assert monitor.psi("ctr") == 0.0
+        assert monitor.scores()["ctr"]["psi"] == 0.0
+        assert monitor.scores()["ctr"]["reference_samples"] == 0
+
+    def test_freeze_requires_live_observations(self):
+        with pytest.raises(RuntimeError):
+            DriftMonitor().freeze_reference()
+
+    def test_freeze_promotes_live_window_to_reference(self):
+        monitor = DriftMonitor(min_samples=5)
+        rng = np.random.default_rng(1)
+        monitor.observe_many("ctr", rng.uniform(0.0, 0.5, 300).tolist())
+        monitor.freeze_reference()
+        assert monitor.has_reference
+        assert monitor.live_samples("ctr") == 0  # fresh live window
+        # Same distribution again: PSI stays near the sampling-noise floor.
+        monitor.observe_many("ctr", rng.uniform(0.0, 0.5, 300).tolist())
+        assert monitor.psi("ctr") < 0.1
+        # Shifted distribution: PSI crosses the conventional 0.25 alarm line.
+        monitor.reset_live()
+        monitor.observe_many("ctr", rng.uniform(0.4, 0.9, 300).tolist())
+        assert monitor.psi("ctr") > 0.25
+
+    def test_min_samples_gates_scoring(self):
+        monitor = DriftMonitor(min_samples=20)
+        monitor.observe_many("ctr", [0.1] * 30)
+        monitor.freeze_reference()
+        monitor.observe_many("ctr", [0.9] * 19)  # below the floor: no verdict
+        assert monitor.psi("ctr") == 0.0
+        assert monitor.scores()["ctr"]["psi"] == 0.0
+        monitor.observe("ctr", 0.9)  # 20th sample crosses the floor
+        assert monitor.psi("ctr") > 0.25
+        assert monitor.scores()["ctr"]["psi"] > 0.25
+
+    def test_reset_live_clears_only_live(self):
+        monitor = DriftMonitor(min_samples=1)
+        monitor.observe("ctr", 0.2)
+        monitor.freeze_reference()
+        monitor.observe("ctr", 0.9)
+        monitor.reset_live()
+        assert monitor.has_reference
+        assert monitor.live_samples("ctr") == 0
+
+    def test_negative_values_clamp_to_zero(self):
+        monitor = DriftMonitor(min_samples=1)
+        monitor.observe("gap", -0.5)  # sketches are non-negative by contract
+        assert monitor.live_samples("gap") == 1
+
+    def test_worst_picks_max_psi_feature(self):
+        monitor = DriftMonitor(min_samples=1)
+        monitor.observe_many("stable", [0.5] * 50)
+        monitor.observe_many("moving", [0.1] * 50)
+        monitor.freeze_reference()
+        monitor.observe_many("stable", [0.5] * 50)
+        monitor.observe_many("moving", [0.9] * 50)
+        name, psi = monitor.worst()
+        assert name == "moving"
+        assert psi > 0.25
+
+    def test_to_dict_summary(self):
+        monitor = DriftMonitor(min_samples=1)
+        monitor.observe_many("ctr", [0.1, 0.2])
+        monitor.freeze_reference()
+        summary = monitor.to_dict()
+        assert summary["has_reference"] is True
+        assert summary["freezes"] == 1
+        assert summary["reference_samples"] == 2
+        assert list(summary["features"]) == ["ctr"]
+        assert summary["worst_feature"] == "ctr"
+
+
+class TestWorkerView:
+    def test_worker_views_share_reference_and_merge_back(self):
+        leader = DriftMonitor(min_samples=1)
+        leader.observe_many("ctr", [0.1] * 100)
+        leader.freeze_reference()
+        worker_a, worker_b = leader.worker_view(), leader.worker_view()
+        worker_a.observe_many("ctr", [0.8] * 30)
+        worker_b.observe_many("ctr", [0.8] * 20)
+        merged = worker_a.merge(worker_b)
+        assert merged.has_reference
+        assert merged.live_samples("ctr") == 50
+        pooled = leader.worker_view()
+        pooled.observe_many("ctr", [0.8] * 50)
+        assert merged.psi("ctr") == pytest.approx(pooled.psi("ctr"))
+
+    def test_merge_rejects_layout_mismatch(self):
+        a = DriftMonitor(num_buckets=32)
+        b = DriftMonitor(num_buckets=16)
+        a.observe("f", 0.1)
+        b.observe("f", 0.1)
+        with pytest.raises(ValueError):
+            a.merge(b)

@@ -126,6 +126,24 @@ class TestRegistry:
             registry.counter("bad name!")
         assert registry.get("missing") is None
 
+    def test_histogram_conflicting_layout_kwargs_rejected(self):
+        """Re-requesting an existing histogram with a different bucket layout
+        must raise, never silently hand back the old layout."""
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_ms", "latency", min_value=1e-3, growth=1.05)
+        # Identical kwargs: same object back.
+        assert registry.histogram("latency_ms", min_value=1e-3, growth=1.05) is hist
+        # No layout kwargs at all: same object back.
+        assert registry.histogram("latency_ms") is hist
+        with pytest.raises(ValueError, match="conflicting"):
+            registry.histogram("latency_ms", growth=1.5)
+        with pytest.raises(ValueError, match="conflicting"):
+            registry.histogram("latency_ms", min_value=1e-2)
+        with pytest.raises(ValueError, match="conflicting"):
+            registry.histogram("latency_ms", num_buckets=16)
+        with pytest.raises(TypeError):
+            registry.histogram("latency_ms", not_a_layout_kwarg=3)
+
     def test_registry_merge_is_union(self):
         a, b = MetricsRegistry(), MetricsRegistry()
         a.counter("shared").inc(1)

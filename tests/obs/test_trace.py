@@ -130,6 +130,76 @@ class TestJsonlExport:
         assert span["start_ms"] >= 0.0
 
 
+class TestJsonlRotation:
+    def _write_traces(self, exporter, n, payload="x" * 50):
+        tracer = Tracer(exporter=exporter)
+        for i in range(n):
+            tracer.trace("q", i=i, pad=payload).finish()
+
+    def test_rotates_when_size_cap_exceeded(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        with JsonlTraceExporter(str(path), max_bytes=300, keep=3) as exporter:
+            self._write_traces(exporter, 10)
+            assert exporter.rotations > 0
+        rotated = sorted(p.name for p in tmp_path.glob("traces.jsonl*"))
+        assert "traces.jsonl" in rotated
+        assert "traces.jsonl.1" in rotated
+        # Every surviving file is valid JSONL and no record was lost overall
+        # beyond what rotation dropped off the tail.
+        total = 0
+        for name in rotated:
+            for line in (tmp_path / name).read_text().strip().splitlines():
+                record = json.loads(line)
+                assert record["name"] == "q"
+                total += 1
+        assert total > 0
+
+    def test_keep_bounds_rotated_files(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        with JsonlTraceExporter(str(path), max_bytes=150, keep=2) as exporter:
+            self._write_traces(exporter, 30)
+        files = sorted(p.name for p in tmp_path.glob("traces.jsonl*"))
+        # Active file + at most `keep` rotated generations, never more.
+        assert files == ["traces.jsonl", "traces.jsonl.1", "traces.jsonl.2"]
+
+    def test_newest_records_stay_in_active_file(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        with JsonlTraceExporter(str(path), max_bytes=200, keep=5) as exporter:
+            self._write_traces(exporter, 12)
+        newest = [
+            json.loads(line)["attrs"]["i"]
+            for line in path.read_text().strip().splitlines()
+        ]
+        oldest_rotated = [
+            json.loads(line)["attrs"]["i"]
+            for line in (tmp_path / "traces.jsonl.1").read_text().strip().splitlines()
+        ]
+        assert max(newest) == 11
+        assert max(oldest_rotated) < min(newest)
+
+    def test_single_oversized_record_still_written_whole(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        with JsonlTraceExporter(str(path), max_bytes=64, keep=2) as exporter:
+            tracer = Tracer(exporter=exporter)
+            tracer.trace("q", blob="y" * 500).finish()
+        (record,) = [json.loads(line) for line in path.read_text().strip().splitlines()]
+        assert record["attrs"]["blob"] == "y" * 500
+
+    def test_no_cap_never_rotates(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        with JsonlTraceExporter(str(path)) as exporter:
+            self._write_traces(exporter, 50)
+            assert exporter.rotations == 0
+        assert list(tmp_path.glob("traces.jsonl.*")) == []
+
+    def test_invalid_rotation_config_rejected(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with pytest.raises(ValueError):
+            JsonlTraceExporter(path, max_bytes=0)
+        with pytest.raises(ValueError):
+            JsonlTraceExporter(path, max_bytes=100, keep=0)
+
+
 class TestNullObjects:
     def test_null_trace_is_inert(self):
         assert NULL_TRACER.trace("anything", user=1) is NULL_TRACE

@@ -1,0 +1,62 @@
+"""``repro.faults`` — seeded fault injection and the machinery to survive it.
+
+The fleet of PRs 1–7 assumes the happy path: shards answer, checkpoints
+load, index writes complete.  This package supplies both halves of the
+robustness story:
+
+* :mod:`~repro.faults.injector` — a deterministic, seeded fault-injection
+  harness.  A :class:`FaultPlan` names *injection points* threaded through
+  the stack (``batcher.submit``, ``engine.retrieve``, ``swap.shard``,
+  ``registry.checkpoint``, ``clicklog.append``, …) and what goes wrong
+  there: latency spikes, transient errors, crashes, torn writes, corrupted
+  files.  The same seed replays the same faults at the same visits, so
+  chaos tests are ordinary deterministic tests.  The disabled path is the
+  shared no-op :data:`NULL_INJECTOR` — zero overhead, bitwise-identical
+  serving.
+* :mod:`~repro.faults.breaker` — per-shard circuit breakers
+  (closed → open → half-open) that stop routing users at a crashing shard
+  and probe it back to health after a cooldown.
+* :mod:`~repro.faults.chaos` — canned seeded fault schedules, the chaos
+  soak driver (replay fleet traffic + refresh cycles under a plan, assert
+  nothing is dropped on the floor), and default alert rules over the
+  degradation telemetry.
+
+Layering: ``faults`` imports only numpy and the stdlib (event logs are
+duck-typed), so every layer — serving, online, utils — may depend on it.
+"""
+
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.chaos import (
+    DEFAULT_FAULT_ALERT_RULES,
+    default_chaos_plan,
+    default_fault_alert_rules,
+    run_chaos_soak,
+)
+from repro.faults.injector import (
+    KNOWN_POINTS,
+    NULL_INJECTOR,
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    NullInjector,
+    TransientFault,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "DEFAULT_FAULT_ALERT_RULES",
+    "default_chaos_plan",
+    "default_fault_alert_rules",
+    "run_chaos_soak",
+    "KNOWN_POINTS",
+    "NULL_INJECTOR",
+    "CrashFault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "NullInjector",
+    "TransientFault",
+]

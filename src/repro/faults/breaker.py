@@ -1,0 +1,111 @@
+"""Per-shard circuit breakers: stop routing at a crashing component.
+
+Classic three-state breaker (closed → open → half-open → closed):
+
+* **closed** — healthy; requests flow.  ``allow`` is a single attribute
+  compare with no clock read, so the happy path costs nothing.
+* **open** — ``failure_threshold`` consecutive failures tripped it;
+  ``allow`` refuses until ``cooldown_s`` has elapsed on the breaker's
+  clock (wall time in production, :class:`~repro.serving.metrics.
+  ManualClock` in tests — injected latency advances the same clock, so
+  recovery is deterministic).
+* **half_open** — cooldown elapsed; trial requests flow.  One failure
+  re-trips immediately; ``success_threshold`` consecutive successes
+  close it again.
+
+The breaker only *counts* — routing decisions (skip this shard, reroute
+to a sibling) live in :class:`~repro.serving.cluster.ShardedCluster`,
+which also records the ``circuit_open``/``circuit_closed`` events on
+state transitions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 0.05,
+        success_threshold: int = 1,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if success_threshold < 1:
+            raise ValueError(f"success_threshold must be >= 1, got {success_threshold}")
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.failure_threshold = int(failure_threshold)
+        self.success_threshold = int(success_threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self.state = self.CLOSED
+        self._consecutive_failures = 0
+        self._trial_successes = 0
+        self._opened_at = 0.0
+        # Lifetime counters for reporting.
+        self.opens = 0
+        self.failures_total = 0
+        self.successes_total = 0
+
+    def allow(self) -> bool:
+        """May a request be routed here right now?
+
+        An open breaker transitions to half-open (and admits the caller as
+        the trial request) once the cooldown has elapsed.
+        """
+        if self.state != self.OPEN:
+            return True
+        if self._clock() - self._opened_at < self.cooldown_s:
+            return False
+        self.state = self.HALF_OPEN
+        self._trial_successes = 0
+        return True
+
+    def record_success(self) -> None:
+        self.successes_total += 1
+        if self.state == self.HALF_OPEN:
+            self._trial_successes += 1
+            if self._trial_successes >= self.success_threshold:
+                self.state = self.CLOSED
+                self._consecutive_failures = 0
+        elif self._consecutive_failures:
+            self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        self.failures_total += 1
+        if self.state == self.HALF_OPEN:
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = self.OPEN
+        self._opened_at = self._clock()
+        self.opens += 1
+        self._consecutive_failures = 0
+        self._trial_successes = 0
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "state": self.state,
+            "opens": self.opens,
+            "failures": self.failures_total,
+            "successes": self.successes_total,
+            "consecutive_failures": self._consecutive_failures,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker(state={self.state!r}, opens={self.opens})"

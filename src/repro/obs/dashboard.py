@@ -179,6 +179,45 @@ def _alerts_section(alerts: Any) -> str:
     )
 
 
+def _resilience_section(
+    breakers: Optional[Sequence[Mapping[str, Any]]],
+    tiers: Optional[Mapping[str, int]],
+) -> str:
+    parts = ["<h2>Resilience</h2>"]
+    if tiers is not None:
+        total = sum(tiers.values()) or 1
+        tier_rows = []
+        tier_classes = []
+        for tier in ("full", "prefilter", "popularity"):
+            count = int(tiers.get(tier, 0))
+            share = count / total
+            tier_rows.append([tier, count, f"{share:.2%}", _bar(share, warn=tier != "full")])
+            tier_classes.append("" if tier == "full" or count == 0 else "firing")
+        parts.append(_table(
+            ["tier", "responses", "share", ""], tier_rows, row_classes=tier_classes
+        ))
+    if breakers:
+        rows = []
+        classes = []
+        for entry in breakers:
+            state = str(entry.get("state", "closed"))
+            pill = (
+                '<span class="pill ok">closed</span>'
+                if state == "closed"
+                else f'<span class="pill bad">{_esc(state)}</span>'
+            )
+            rows.append([
+                entry.get("shard", "—"), pill, entry.get("opens", 0),
+                entry.get("failures", 0), entry.get("successes", 0),
+            ])
+            classes.append("ok" if state == "closed" else "firing")
+        parts.append(_table(
+            ["shard", "breaker", "opens", "failures", "successes"],
+            rows, row_classes=classes,
+        ))
+    return "".join(parts)
+
+
 def _shadow_section(shadow: Any) -> str:
     stats = shadow.stats()
     rows = [[key, _fmt(value) if value is not None else "—"] for key, value in stats.items()]
@@ -231,18 +270,25 @@ def render_dashboard(
     shadow: Optional[Any] = None,
     traces: Optional[Sequence[Mapping[str, Any]]] = None,
     generated_at: Optional[str] = None,
+    breakers: Optional[Sequence[Mapping[str, Any]]] = None,
+    tiers: Optional[Mapping[str, int]] = None,
 ) -> str:
     """Render every supplied telemetry object into one HTML document.
 
     All panels are optional; omitted ones simply do not render.  ``traces``
     takes JSON trace records (``Trace.to_dict()`` form — e.g. a
-    :class:`~repro.obs.trace.Tracer`'s ``finished`` ring).
+    :class:`~repro.obs.trace.Tracer`'s ``finished`` ring).  ``breakers``
+    takes per-shard circuit-breaker status rows (``ShardedCluster.
+    breaker_status()``) and ``tiers`` the degradation-tier response counts;
+    together they render the resilience panel.
     """
     sections: List[str] = []
     if summary:
         sections.append(_summary_section(summary))
     if alerts is not None:
         sections.append(_alerts_section(alerts))
+    if breakers or tiers:
+        sections.append(_resilience_section(breakers, tiers))
     if drift is not None:
         sections.append(_drift_section(drift))
     if shadow is not None:

@@ -28,6 +28,17 @@ EVENT_KINDS = frozenset(
         "drift_score",  # per-cycle live-vs-reference drift measurement
         "alert_fired",  # an AlertRule crossed its hysteresis fire threshold
         "alert_resolved",  # a firing AlertRule cleared
+        # Fault tolerance (repro.faults):
+        "fault_injected",  # the fault injector fired a scheduled fault
+        "load_shed",  # admission control answered a request at the fallback tier
+        "degraded",  # a request was served below the full tier
+        "circuit_open",  # a shard's circuit breaker tripped open
+        "circuit_closed",  # a shard's circuit breaker recovered to closed
+        "shard_failover",  # a request was rerouted off a failed shard
+        "rollback",  # the fleet/registry reverted to the previous production version
+        "quarantine",  # a corrupted candidate checkpoint was quarantined
+        "retry",  # a transient train/canary failure was retried with backoff
+        "state_recovered",  # persistent state (index/log) was repaired at startup
     }
 )
 

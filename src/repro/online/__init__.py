@@ -19,7 +19,8 @@ that loop over the serving subsystem of :mod:`repro.serving`::
 * :mod:`~repro.online.incremental` — streaming warm-start trainer that
   preserves AdamW moment/step state across refresh cycles and checkpoints;
 * :mod:`~repro.online.registry` — versioned checkpoint store with a
-  candidate → production/rejected lifecycle and a persistent JSON index;
+  candidate → production/rejected/quarantined lifecycle and a crash-safe
+  (tmp+rename, CRC-verified, backup+scan-recovered) persistent JSON index;
 * :mod:`~repro.online.canary` — AUC/NDCG regression gate replaying held-out
   traffic through candidate and production before any promotion;
 * :mod:`~repro.online.loop` — the orchestrator running full refresh cycles
@@ -31,9 +32,10 @@ from repro.online.click_log import ClickLog, ClickRecord, build_dataset
 from repro.online.click_model import ClickModelConfig, PositionBiasedClickModel
 from repro.online.incremental import IncrementalTrainer
 from repro.online.loop import CycleReport, OnlineLoop
-from repro.online.registry import ModelRegistry, ModelVersion
+from repro.online.registry import CorruptCheckpointError, ModelRegistry, ModelVersion
 
 __all__ = [
+    "CorruptCheckpointError",
     "CanaryGate",
     "CanaryReport",
     "ClickLog",

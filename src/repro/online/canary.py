@@ -35,6 +35,7 @@ from repro.data.dataset import RankingDataset
 from repro.eval.auc import session_auc
 from repro.eval.evaluator import predict_scores
 from repro.eval.ndcg import session_ndcg
+from repro.faults.injector import NULL_INJECTOR
 from repro.infer import CompileError, compile_model
 from repro.obs import NULL_TRACE
 
@@ -81,6 +82,11 @@ class CanaryGate:
         candidate must also keep cascade retrieval recall above the probe's
         floor (checked on the candidate alone — the oracle is the
         candidate's own exhaustive cascade, so production is not involved).
+    injector:
+        Optional :class:`~repro.faults.FaultInjector`; :meth:`judge` visits
+        the ``canary.judge`` point at entry, so a chaos plan can fail a
+        replay transiently (the online loop retries with backoff rather
+        than skipping the gate).
     """
 
     _METRIC_FNS = {"auc": session_auc, "ndcg": session_ndcg}
@@ -91,6 +97,7 @@ class CanaryGate:
         metrics: Sequence[str] = ("auc", "ndcg"),
         use_compiled: bool = True,
         retrieval_probe: Optional["RetrievalProbe"] = None,
+        injector=None,
     ) -> None:
         if tolerance < 0:
             raise ValueError(f"tolerance must be >= 0, got {tolerance}")
@@ -103,6 +110,7 @@ class CanaryGate:
         self.metrics = tuple(metrics)
         self.use_compiled = bool(use_compiled)
         self.retrieval_probe = retrieval_probe
+        self.injector = injector if injector is not None else NULL_INJECTOR
 
     def _scorer(self, model: RankingModel):
         """The object whose ``predict_proba`` the replay runs — the compiled
@@ -152,6 +160,7 @@ class CanaryGate:
         is attributable to its stage (the probe's cascade rebuild dominates
         at large catalogs).
         """
+        self.injector.fire("canary.judge", rows=len(holdout))
         # One compile per judgement: weights cannot change mid-call, so the
         # replay and the retrieval probe share the same scoring surface.
         candidate_scorer = self._scorer(candidate)

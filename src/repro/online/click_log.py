@@ -14,10 +14,21 @@ bit-identical to the features it served with, so the online loop introduces
 no training/serving skew.  Mirroring the offline protocol (§IV-A1),
 clicked impressions are positives and an equal number of sampled non-clicked
 impressions per session are negatives (1:1) when an ``rng`` is supplied.
+
+With a ``path``, the log is also **durable** (PR 8): every session appends
+one JSONL line, and startup replays the file through a torn-write recovery
+scan (:func:`repro.utils.atomic.recover_jsonl`) — a record whose append was
+cut mid-line (process crash, full disk, injected ``clicklog.append`` fault)
+is dropped, the clean prefix is kept, and the file is rewritten without the
+damage.  Recovered history loads as already-consumed (``lag`` counts only
+this process's unread sessions) and session ids continue from the highest
+recovered id, so a restart never reuses or reorders ids.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -27,6 +38,8 @@ from repro.data.dataset import RankingDataset
 from repro.data.features import assemble_candidate_batch
 from repro.data.schema import Batch
 from repro.data.synthetic import World
+from repro.faults.injector import NULL_INJECTOR
+from repro.utils.atomic import recover_jsonl
 
 __all__ = ["ClickRecord", "ClickLog", "build_dataset"]
 
@@ -58,12 +71,104 @@ class ClickLog:
     ``append`` is the serving side; ``read_new`` is the training side.  The
     distance between them is :attr:`lag` — how far the incremental trainer
     has fallen behind live traffic.
+
+    Parameters
+    ----------
+    path:
+        Optional JSONL file.  When set, every session is appended durably
+        and an existing file is recovered at startup (torn trailing records
+        dropped, file rewritten clean; see the module docstring).
+    injector:
+        Optional :class:`~repro.faults.FaultInjector` for the
+        ``clicklog.append`` torn-write point (only meaningful with a
+        ``path``).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, path: Optional[str] = None, injector=None) -> None:
         self._records: List[ClickRecord] = []
         self._cursor = 0
         self._next_session = 0
+        self.path = None if path is None else str(path)
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        #: Startup-recovery stats (all zero for a fresh or in-memory log).
+        self.recovered_sessions = 0
+        self.dropped_records = 0
+        #: Torn appends absorbed so far (each also drops one record on the
+        #: *next* recovery — the record after a torn line is still intact
+        #: because every append starts on its own line).
+        self.torn_writes = 0
+        if self.path is not None and os.path.exists(self.path):
+            self._recover()
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _to_json(record: ClickRecord) -> str:
+        return json.dumps(
+            {
+                "session_id": record.session_id,
+                "user": record.user,
+                "query_category": record.query_category,
+                "items": [int(item) for item in record.items],
+                "clicks": [float(click) for click in record.clicks],
+                "model_version": record.model_version,
+                "timestamp": record.timestamp,
+            },
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def _from_json(payload: dict) -> ClickRecord:
+        return ClickRecord(
+            session_id=int(payload["session_id"]),
+            user=int(payload["user"]),
+            query_category=int(payload["query_category"]),
+            items=np.asarray(payload["items"], dtype=np.int64),
+            clicks=np.asarray(payload["clicks"], dtype=np.float32),
+            model_version=payload.get("model_version"),
+            timestamp=float(payload.get("timestamp", 0.0)),
+        )
+
+    def _recover(self) -> None:
+        """Load an existing log file, dropping torn/corrupt trailing records.
+
+        Recovered history is pre-consumed (the trainer that logged it
+        already read it — or died with it, in which case its candidate died
+        too); only a damaged file is rewritten, so a clean restart is a pure
+        read.
+        """
+        payloads, dropped = recover_jsonl(self.path)
+        records: List[ClickRecord] = []
+        for payload in payloads:
+            try:
+                records.append(self._from_json(payload))
+            except (KeyError, TypeError, ValueError):
+                dropped += 1
+        records.sort(key=lambda record: record.session_id)
+        self._records = records
+        self._cursor = len(records)
+        self._next_session = records[-1].session_id + 1 if records else 0
+        self.recovered_sessions = len(records)
+        self.dropped_records = dropped
+        if dropped:
+            with open(self.path, "w", encoding="utf-8") as handle:
+                for record in records:
+                    handle.write(self._to_json(record) + "\n")
+
+    def _append_durable(self, record: ClickRecord) -> None:
+        line = self._to_json(record) + "\n"
+        fraction = self.injector.truncate_fraction(
+            "clicklog.append", session=record.session_id
+        )
+        if fraction is not None:
+            # Simulated mid-append crash: a prefix of the line reaches disk.
+            # The trailing newline keeps the *next* append parseable — the
+            # torn record itself is what recovery drops.
+            line = line[: max(1, int(len(line) * fraction))] + "\n"
+            self.torn_writes += 1
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -108,6 +213,8 @@ class ClickLog:
         )
         self._next_session += 1
         self._records.append(record)
+        if self.path is not None:
+            self._append_durable(record)
         return record
 
     def read_new(self, max_sessions: Optional[int] = None) -> List[ClickRecord]:

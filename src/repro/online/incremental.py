@@ -25,6 +25,7 @@ from repro.core.config import TrainConfig
 from repro.core.ranking_model import RankingModel
 from repro.core.trainer import build_optimizers, build_strategy, train_step
 from repro.data.dataset import RankingDataset, iterate_batches
+from repro.faults.injector import NULL_INJECTOR
 from repro.nn import GradArena, load_training_state, save_training_state
 from repro.obs import NULL_TRACE, MetricsRegistry
 from repro.utils.logging import RunLog
@@ -56,6 +57,11 @@ class IncrementalTrainer:
         (``train_loss``), and pre-clip gradient norm (``train_grad_norm``)
         into fixed-size histograms, plus a ``train_steps_total`` counter —
         the learning-loop half of the fleet's telemetry.
+    injector:
+        Optional :class:`~repro.faults.FaultInjector`; :meth:`update` visits
+        the ``trainer.update`` point at entry, so a chaos plan can make a
+        refresh fail transiently before any weight moves (the online loop
+        retries it with backoff).
     """
 
     def __init__(
@@ -64,6 +70,7 @@ class IncrementalTrainer:
         config: TrainConfig,
         seed: int = 0,
         metrics: Optional[MetricsRegistry] = None,
+        injector=None,
     ) -> None:
         if config.contrastive and not model.supports_contrastive:
             raise TypeError(
@@ -74,6 +81,7 @@ class IncrementalTrainer:
         self.config = config
         self.seed = int(seed)
         self.metrics = metrics
+        self.injector = injector if injector is not None else NULL_INJECTOR
         self.optimizers = build_optimizers(model, config)
         self.strategy = build_strategy(config)
         # One arena for the trainer's lifetime: refresh cycles run the same
@@ -105,6 +113,7 @@ class IncrementalTrainer:
         refresh trace shows *where inside training* the time and the loss
         went, not just that training happened.
         """
+        self.injector.fire("trainer.update", update=self.updates)
         if log is None:
             log = RunLog(name=f"{type(self.model).__name__}-update{self.updates}")
         bank = SeedBank(self.seed)

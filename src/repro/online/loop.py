@@ -34,13 +34,14 @@ import numpy as np
 
 from repro.core.ranking_model import RankingModel
 from repro.data.synthetic import World
+from repro.faults.injector import TransientFault
 from repro.obs import NULL_TRACER, AlertManager, DriftMonitor, telemetry_snapshot
 from repro.online.canary import CanaryGate, CanaryReport
 from repro.online.click_log import ClickLog, build_dataset
 from repro.online.click_model import PositionBiasedClickModel
 from repro.online.incremental import IncrementalTrainer
-from repro.online.registry import ModelRegistry
-from repro.serving.cluster import ShardedCluster
+from repro.online.registry import CorruptCheckpointError, ModelRegistry
+from repro.serving.cluster import ShardedCluster, SwapFailed
 from repro.serving.engine import RankedList
 from repro.serving.loadgen import TrafficEvent, replay
 from repro.serving.metrics import ManualClock
@@ -68,6 +69,10 @@ class CycleReport:
     drift: Optional[dict] = None
     #: Alert rules that fired or resolved during this cycle.
     alerts: Optional[list] = None
+    #: Set when this cycle rolled production back — either because a
+    #: promotion failed partway (corrupt checkpoint, mid-swap crash) or
+    #: because an alert fired inside the post-swap watch window.
+    rollback: Optional[dict] = None
 
     def summary(self) -> dict:
         """JSON-serializable view (the benchmark artifact rows)."""
@@ -81,6 +86,7 @@ class CycleReport:
             "candidate_version": self.candidate_version,
             "promoted": self.promoted,
             "production_version": self.production_version,
+            "rollback": self.rollback,
             "drift": None
             if self.drift is None
             else {name: round(scores["psi"], 6) for name, scores in self.drift.items()},
@@ -140,6 +146,24 @@ class OnlineLoop:
         an event log, it is bound to the cluster's control-plane
         :class:`~repro.obs.EventLog`, so alert transitions interleave with
         hot swaps and canary verdicts in one timeline.
+    retry_attempts / retry_backoff_s:
+        Transient-failure policy for the train and canary stages: a
+        :class:`~repro.faults.TransientFault` (injected, or any future
+        genuinely-transient failure raised as one) is retried up to
+        ``retry_attempts`` times with exponential backoff (``backoff *
+        2**attempt`` seconds, advanced on the loop's :class:`ManualClock`
+        when one is installed, so tests pay no wall-clock).  Exhaustion
+        re-raises — a persistently failing refresh must be loud.
+    watch_cycles:
+        Post-promotion watch window: if any alert rule *fires* within this
+        many cycles of a promotion while the promoted version is still
+        production, the loop rolls production back to the promotion's
+        parent automatically (registry, fleet, and training twin together).
+        The default ``0`` disables auto-rollback — it is opt-in because any
+        configured alert (drift included) triggers it, and a fleet that
+        alarms routinely should not demote a healthy model; pair it with
+        rules over the resilience telemetry
+        (:func:`repro.faults.default_fault_alert_rules`).
     """
 
     def __init__(
@@ -158,9 +182,16 @@ class OnlineLoop:
         tracer=None,
         drift: Optional[DriftMonitor] = None,
         alerts: Optional[AlertManager] = None,
+        retry_attempts: int = 3,
+        retry_backoff_s: float = 0.05,
+        watch_cycles: int = 0,
     ) -> None:
         if holdout_every < 2:
             raise ValueError(f"holdout_every must be >= 2, got {holdout_every}")
+        if retry_attempts < 1:
+            raise ValueError(f"retry_attempts must be >= 1, got {retry_attempts}")
+        if watch_cycles < 0:
+            raise ValueError(f"watch_cycles must be >= 0, got {watch_cycles}")
         self.world = world
         self.cluster = cluster
         self.trainer = trainer
@@ -176,10 +207,35 @@ class OnlineLoop:
         self.alerts = alerts
         if alerts is not None and alerts.events is None:
             alerts.events = cluster.control.events
+        self.retry_attempts = int(retry_attempts)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.watch_cycles = int(watch_cycles)
+        #: Active post-promotion watch window (``None`` outside one):
+        #: ``{"version", "parent", "until"}`` — see ``watch_cycles``.
+        self._watch: Optional[dict] = None
         self._neg_rng = np.random.default_rng(np.random.SeedSequence(seed))
         self._production_model: Optional[RankingModel] = None
         self.cycles_run = 0
         self.reports: List[CycleReport] = []
+        # Surface startup repairs (torn index recovered from backup/scan,
+        # torn click-log tail dropped) as control-plane events: state the
+        # loop healed silently is state an operator never audits.
+        if registry.recovery is not None:
+            self.cluster.control.events.record(
+                "state_recovered",
+                self._now(),
+                component="registry",
+                source=str(registry.recovery.get("source")),
+                versions=len(registry.recovery.get("versions", ())),
+            )
+        if self.click_log.dropped_records:
+            self.cluster.control.events.record(
+                "state_recovered",
+                self._now(),
+                component="click_log",
+                sessions=self.click_log.recovered_sessions,
+                dropped=self.click_log.dropped_records,
+            )
 
     # ------------------------------------------------------------------
     # deployment plumbing
@@ -217,6 +273,124 @@ class OnlineLoop:
 
     def _now(self) -> float:
         return self.clock.now() if self.clock is not None else time.time()
+
+    def _sleep(self, seconds: float) -> None:
+        if self.clock is not None:
+            self.clock.advance(seconds)
+        else:  # pragma: no cover - wall-clock path
+            time.sleep(seconds)
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def _with_retry(self, stage: str, fn: Callable[[], object]):
+        """Run ``fn``, retrying :class:`TransientFault` with backoff.
+
+        Each retry records a typed ``retry`` control-plane event; the last
+        attempt's fault re-raises (the cycle then fails loudly rather than
+        promoting on a half-run stage).
+        """
+        last: Optional[TransientFault] = None
+        for attempt in range(self.retry_attempts):
+            try:
+                return fn()
+            except TransientFault as exc:
+                last = exc
+                self.cluster.control.events.record(
+                    "retry",
+                    self._now(),
+                    stage=stage,
+                    attempt=attempt + 1,
+                    max_attempts=self.retry_attempts,
+                )
+                if attempt + 1 < self.retry_attempts:
+                    self._sleep(self.retry_backoff_s * (2.0**attempt))
+        raise last
+
+    def _recover_failed_deploy(
+        self,
+        entry,
+        parent: Optional[int],
+        exc: Exception,
+        report: CycleReport,
+    ) -> None:
+        """A promotion failed partway — restore the parent everywhere.
+
+        Reached when :meth:`_deploy` raised after ``promote``: either the
+        candidate's checkpoint failed its integrity check
+        (:class:`CorruptCheckpointError` — the fleet was never touched) or
+        the hot swap crashed mid-drain (:class:`SwapFailed` — the cluster
+        already rolled its shards back).  In both cases the fleet still
+        serves the parent; what needs repair is the *registry* (production
+        pointer moved to the failed candidate) and the *training twin*
+        (its weights are the failed candidate's — left in place they would
+        silently become the base of every future refresh).
+        """
+        corrupt = isinstance(exc, CorruptCheckpointError)
+        if parent is not None:
+            self.registry.promote(parent)
+        if corrupt:
+            self.registry.quarantine(entry.version)
+            self.cluster.control.events.record(
+                "quarantine", self._now(), version=entry.version, reason=str(exc)[:200]
+            )
+        else:
+            self.registry.reject(entry.version)
+        if parent is not None:
+            # Roll the training twin back to the production lineage.  A
+            # quarantined candidate's *checkpoint* is damaged but the
+            # trainer's in-memory weights are not — they are still rolled
+            # back because an undeployable candidate must not seed the next.
+            self.registry.load_into(parent, self.trainer.model, trainer=self.trainer)
+        self.cluster.control.events.record(
+            "rollback",
+            self._now(),
+            version=entry.version,
+            restored=parent,
+            reason=f"deploy_failed:{type(exc).__name__}",
+        )
+        if self.drift is not None:
+            self.drift.reset_live()
+        report.rollback = {
+            "version": entry.version,
+            "restored": parent,
+            "reason": f"deploy_failed:{type(exc).__name__}",
+            "quarantined": corrupt,
+        }
+
+    def _auto_rollback(self, rule: str, report: CycleReport) -> None:
+        """An alert fired inside the watch window: demote the fresh version.
+
+        The watched version passed its canary but is misbehaving in
+        production (shed rate up, fallback share up, breakers opening);
+        production, the registry, and the training twin all return to the
+        promotion's parent.  The rolled-back version is marked ``rejected``
+        — its metrics were fine, its behaviour was not.
+        """
+        watch = self._watch
+        self._watch = None
+        parent = watch["parent"]
+        if parent is None:  # a bootstrap deployment has nothing to return to
+            return
+        self.registry.promote(parent)
+        self.registry.reject(watch["version"])
+        self._deploy(parent)
+        self.registry.load_into(parent, self.trainer.model, trainer=self.trainer)
+        self.cluster.control.events.record(
+            "rollback",
+            self._now(),
+            version=watch["version"],
+            restored=parent,
+            reason=f"alert:{rule}",
+        )
+        if self.drift is not None:
+            self.drift.reset_live()
+        report.rollback = {
+            "version": watch["version"],
+            "restored": parent,
+            "reason": f"alert:{rule}",
+            "quarantined": False,
+        }
 
     # ------------------------------------------------------------------
     # the loop
@@ -302,7 +476,15 @@ class OnlineLoop:
                 },
             )
         if self.alerts is not None:
-            extra = {"click_log_lag": float(self.click_log.lag)}
+            merged = self.cluster.merged_metrics()
+            extra = {
+                "click_log_lag": float(self.click_log.lag),
+                # Resilience telemetry: the degradation ladder and breaker
+                # state are alertable (and drive the watch-window rollback).
+                "shed_rate": float(merged.shed_rate),
+                "degraded_share": float(merged.degraded_share),
+                "open_breakers": float(self.cluster.open_breakers),
+            }
             shadow = getattr(self.cluster, "shadow_recall", None)
             if shadow is not None and shadow.samples:
                 extra["retrieval_recall_at_k"] = shadow.recall_at_k
@@ -322,6 +504,16 @@ class OnlineLoop:
                     }
                     for transition in transitions
                 ]
+            fired = [t.rule.name for t in transitions if t.action == "fired"]
+            if (
+                fired
+                and self._watch is not None
+                and self.cycles_run < self._watch["until"]
+                and self.production_version == self._watch["version"]
+            ):
+                self._auto_rollback(fired[0], report)
+        if self._watch is not None and self.cycles_run >= self._watch["until"]:
+            self._watch = None  # watch window expired cleanly
 
     def run_cycle(self, events: Sequence[TrafficEvent]) -> CycleReport:
         """One full refresh cycle; returns its audit report.
@@ -384,7 +576,7 @@ class OnlineLoop:
         parent = self.production_version
         window = (records[0].session_id, records[-1].session_id + 1)
         with trace.span("train", rows=len(train_set), epochs=self.trainer.config.epochs):
-            self.trainer.update(train_set, trace=trace)
+            self._with_retry("train", lambda: self.trainer.update(train_set, trace=trace))
         with trace.span("register") as register_span:
             entry = self.registry.register(
                 self.trainer.model, parent=parent, window=window, trainer=self.trainer
@@ -399,8 +591,14 @@ class OnlineLoop:
             with trace.span(
                 "canary", version=self.registry.label(entry.version)
             ) as canary_span:
-                report.canary = self.canary.judge(
-                    self.trainer.model, self._production_model, holdout_set, trace=trace
+                report.canary = self._with_retry(
+                    "canary",
+                    lambda: self.canary.judge(
+                        self.trainer.model,
+                        self._production_model,
+                        holdout_set,
+                        trace=trace,
+                    ),
                 )
                 canary_span.set(passed=report.canary.passed)
             passed = report.canary.passed
@@ -420,14 +618,30 @@ class OnlineLoop:
             passed = True
         if passed:
             metrics = None if report.canary is None else report.canary.candidate
-            with trace.span("swap", version=self.registry.label(entry.version)):
+            deployed = False
+            with trace.span("swap", version=self.registry.label(entry.version)) as swap_span:
                 self.registry.promote(entry.version, metrics=metrics)
-                self._deploy(entry.version)
-            if self.drift is not None:
-                # The live window just served is the click-log window the
-                # promoted candidate trained on: freeze it as the new
-                # production model's training-time reference.
-                self.drift.freeze_reference()
+                try:
+                    self._deploy(entry.version)
+                    deployed = True
+                except (SwapFailed, CorruptCheckpointError) as exc:
+                    # The candidate passed its canary but cannot actually
+                    # serve (corrupt checkpoint, mid-swap crash).  Restore
+                    # the parent everywhere and report the cycle unpromoted.
+                    swap_span.set(failed=type(exc).__name__)
+                    self._recover_failed_deploy(entry, parent, exc, report)
+            if deployed:
+                self._watch = {
+                    "version": entry.version,
+                    "parent": parent,
+                    "until": self.cycles_run + self.watch_cycles,
+                }
+                if self.drift is not None:
+                    # The live window just served is the click-log window the
+                    # promoted candidate trained on: freeze it as the new
+                    # production model's training-time reference.
+                    self.drift.freeze_reference()
+            passed = deployed
         else:
             with trace.span("rollback", version=self.registry.label(entry.version)):
                 self.registry.reject(entry.version, metrics=report.canary.candidate)

@@ -42,13 +42,29 @@ The stack is hot-swappable: :meth:`ShardedCluster.swap_model` drains each
 shard between micro-batches, recompiles and switches the model+plan, and
 invalidates the gate cache (generation-tagged), which is how the online
 learning loop (:mod:`repro.online`) deploys refreshed versions with zero
-downtime.
+downtime.  The swap is transactional: a mid-drain failure rolls every
+already-swapped shard back and raises :class:`SwapFailed` — the fleet is
+never left serving mixed generations.
+
+Resilience (PR 8, :mod:`repro.faults`): a :class:`DegradationPolicy` gives
+every request a deadline budget and admission control, degrading full
+cascade ranking to a prefilter shortlist or the popularity prior instead of
+timing out (each response's :attr:`RankedList.tier` says which); per-shard
+circuit breakers plus deterministic failover rerouting keep a crashing
+shard from taking its users down with it.
 """
 
 from repro.serving.ab_test import ABTestResult, run_ab_test
 from repro.serving.batcher import MicroBatcher, PreparedQuery
 from repro.serving.cache import CacheStats, LRUCache, SessionCache
-from repro.serving.cluster import ShardedCluster, ShardWorker, shard_for_user
+from repro.serving.cluster import ShardedCluster, ShardWorker, SwapFailed, shard_for_user
+from repro.serving.degrade import (
+    TIER_FULL,
+    TIER_POPULARITY,
+    TIER_PREFILTER,
+    TIERS,
+    DegradationPolicy,
+)
 from repro.serving.cost import (
     CascadeCostReport,
     GateCostReport,
@@ -77,7 +93,13 @@ __all__ = [
     "SessionCache",
     "ShardedCluster",
     "ShardWorker",
+    "SwapFailed",
     "shard_for_user",
+    "TIER_FULL",
+    "TIER_POPULARITY",
+    "TIER_PREFILTER",
+    "TIERS",
+    "DegradationPolicy",
     "CascadeCostReport",
     "GateCostReport",
     "compare_gate_strategies",

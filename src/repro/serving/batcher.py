@@ -29,8 +29,11 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.data.schema import Batch
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.injector import NULL_INJECTOR, CrashFault
 from repro.obs.trace import NULL_SPAN, NULL_TRACE, NULL_TRACER
 from repro.serving.cache import SessionCache
+from repro.serving.degrade import TIER_FULL, TIER_POPULARITY, TIER_PREFILTER, DegradationPolicy
 from repro.serving.engine import RankedList, SearchEngine
 from repro.serving.metrics import MetricsSink
 
@@ -106,6 +109,9 @@ class MicroBatcher:
         metrics: Optional[MetricsSink] = None,
         clock: Callable[[], float] = time.perf_counter,
         tracer=None,
+        policy: Optional[DegradationPolicy] = None,
+        injector=None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -117,6 +123,14 @@ class MicroBatcher:
         self.cache = cache
         self.metrics = metrics if metrics is not None else MetricsSink(clock=clock)
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Deadline budget + admission control (:class:`~repro.serving.
+        #: degrade.DegradationPolicy`).  ``None`` — the default — performs
+        #: no budget or queue checks at all: the pre-policy hot path.
+        self.policy = policy
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        #: Owning shard's circuit breaker; the batcher only reports flush
+        #: outcomes to it — routing decisions live in the cluster.
+        self.breaker = breaker
         self._clock = clock
         self._pending: List[PreparedQuery] = []
 
@@ -130,8 +144,28 @@ class MicroBatcher:
 
     def submit(self, user: int, query_category: int) -> List[RankedList]:
         """Enqueue one query; returns flushed results when the size trigger
-        fires, an empty list otherwise."""
+        fires, an empty list otherwise.
+
+        With a :class:`~repro.serving.degrade.DegradationPolicy` attached,
+        a request may instead be answered **immediately** below the full
+        tier — shed at admission (queue over ``max_queue`` or drowning past
+        ``deadline_ms``), dropped to the prefilter tier when submit-side
+        preparation burns past the budget, or dropped to popularity when
+        retrieval itself crashes.  Degraded requests never enter the queue,
+        so every submit yields a response from *some* tier — nothing is
+        dropped on the floor.  A ``crash`` fault at the ``batcher.submit``
+        injection point raises before admission: the request is untouched
+        and the cluster reroutes it to a sibling shard.
+        """
         now = self._clock()
+        self.injector.fire("batcher.submit", user=int(user), category=int(query_category))
+        policy = self.policy
+        if policy is not None and self._should_shed(now, policy):
+            return [
+                self._respond_degraded(
+                    user, query_category, TIER_POPULARITY, "load_shed", now, shed=True
+                )
+            ]
         trace = self.tracer.trace("serve", user=int(user), category=int(query_category))
         use_gate = self.engine.supports_session_gate
         submit_span = trace.begin("submit")
@@ -159,11 +193,37 @@ class MicroBatcher:
                 if gate is not None and self.cache is not None:
                     self.cache.put_gate(user, query_category, gate)
                     generation = self.cache.generation
-        with trace.span("retrieve", cascade=self.engine.cascade is not None) as span:
-            candidates = self.engine.retrieve(
-                query_category, user=user, gate=gate, trace=trace
-            )
-            span.set(candidates=int(candidates.size))
+        try:
+            with trace.span("retrieve", cascade=self.engine.cascade is not None) as span:
+                candidates = self.engine.retrieve(
+                    query_category, user=user, gate=gate, trace=trace
+                )
+                span.set(candidates=int(candidates.size))
+        except CrashFault:
+            # Retrieval is gone for this call; the popularity prior still
+            # answers (no cascade, no model) — degraded beats dropped.
+            submit_span.end()
+            return [
+                self._respond_degraded(
+                    user, query_category, TIER_POPULARITY, "retrieve_failure",
+                    now, trace=trace,
+                )
+            ]
+        if policy is not None:
+            elapsed_ms = (self._clock() - now) * 1000.0
+            if elapsed_ms > policy.degrade_after_ms:
+                # Submit-side preparation (gate + retrieval) already burned
+                # the full-tier budget — a latency spike in the cascade, say
+                # — so answer now from the prefilter over the shortlist we
+                # just retrieved instead of queueing for a forward that
+                # would land past the deadline.
+                submit_span.end()
+                return [
+                    self._respond_degraded(
+                        user, query_category, TIER_PREFILTER, "deadline_budget",
+                        now, trace=trace, candidates=candidates,
+                    )
+                ]
         with trace.span("assemble"):
             batch = self.engine.build_batch(
                 user, query_category, candidates, behavior=behavior
@@ -216,6 +276,89 @@ class MicroBatcher:
         return self._deadline()
 
     # ------------------------------------------------------------------
+    # degradation ladder
+    # ------------------------------------------------------------------
+    def _should_shed(self, now: float, policy: DegradationPolicy) -> bool:
+        """Admission control: is the queue too deep or too stale to join?"""
+        if policy.max_queue is not None and len(self._pending) >= policy.max_queue:
+            return True
+        if policy.shed_when_stale and self._pending:
+            waited_ms = (now - self._pending[0].enqueue_time) * 1000.0
+            return waited_ms > policy.deadline_ms
+        return False
+
+    def _respond_degraded(
+        self,
+        user: int,
+        query_category: int,
+        tier: str,
+        reason: str,
+        enqueue_time: float,
+        trace=NULL_TRACE,
+        candidates: Optional[np.ndarray] = None,
+        shed: bool = False,
+    ) -> RankedList:
+        """Answer one request below the full tier, immediately.
+
+        The response is produced by :meth:`SearchEngine.degraded_ranking`
+        (which may itself fall further down the ladder), counted on the
+        metrics sink, stamped on the trace as a span attribute, and logged
+        as a typed ``load_shed`` / ``degraded`` event.
+        """
+        items, scores, tier = self.engine.degraded_ranking(
+            user, query_category, tier, candidates=candidates
+        )
+        done = self._clock()
+        latency_ms = (done - enqueue_time) * 1000.0
+        self.engine.record_query(latency_ms)
+        self.metrics.record_query(latency_ms, now=done)
+        self.metrics.record_tier(tier)
+        if shed:
+            self.metrics.record_shed()
+            self.metrics.events.record(
+                "load_shed", done, user=int(user), queued=len(self._pending)
+            )
+        else:
+            self.metrics.events.record(
+                "degraded", done, tier=tier, reason=reason, user=int(user)
+            )
+        trace.finish(latency_ms=latency_ms, tier=tier, degraded=reason)
+        return RankedList(
+            user=user,
+            query_category=query_category,
+            items=items,
+            scores=scores,
+            latency_ms=latency_ms,
+            model_version=self.engine.model_version,
+            tier=tier,
+        )
+
+    def _flush_degraded(self, pending: List[PreparedQuery], exc: Exception) -> List[RankedList]:
+        """Answer a whole failed flush one tier down.
+
+        Each query keeps its own submit-time shortlist, so the prefilter
+        tier still ranks personalized retrievals; without a cascade the
+        popularity prior answers.  The flush therefore *never* raises —
+        ``poll``/``replay`` drivers survive any scoring failure.
+        """
+        reason = f"flush:{type(exc).__name__}"
+        results = [
+            self._respond_degraded(
+                q.user,
+                q.query_category,
+                TIER_PREFILTER if self.engine.cascade is not None else TIER_POPULARITY,
+                reason,
+                q.enqueue_time,
+                trace=q.trace,
+                candidates=q.candidates,
+            )
+            for q in pending
+        ]
+        if self.cache is not None:
+            self.metrics.record_cache(self.cache.gates.stats)
+        return results
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def flush(self) -> List[RankedList]:
@@ -264,43 +407,63 @@ class MicroBatcher:
                     q.gate = None
                     q.gate_generation = self.cache.generation
 
-        gate_rows: Optional[np.ndarray] = None
-        if self.engine.supports_session_gate:
-            missing = sum(1 for q in pending if q.gate is None)
-            gate_begin = self._clock()
-            self._resolve_gates(pending, keys)
-            gate_end = self._clock()
-            for q, flush_span in sampled:
-                q.trace.record_span(
-                    "gate-flush", gate_begin, gate_end,
-                    parent=flush_span, sessions=missing,
-                )
-            gate_rows = np.concatenate(
-                [np.tile(q.gate, (q.num_candidates, 1)) for q in pending], axis=0
-            )
-
-        combined: Batch = {
-            key: np.concatenate([q.batch[key] for q in pending], axis=0) for key in keys
-        }
-        step_hook = None
         rank_spans = []
-        if sampled:
-            total_rows = int(combined["label"].shape[0])
-            # ``begin`` nests each rank span under its trace's open flush
-            # span; the hook fans every kernel's interval out to all of them.
-            rank_spans = [
-                (q.trace, q.trace.begin("rank", rows=total_rows)) for q, _ in sampled
-            ]
-
-            def step_hook(step, seconds):
-                now = self._clock()
-                for trace, rank_span in rank_spans:
-                    trace.record_span(
-                        step.name, now - seconds, now,
-                        parent=rank_span, kind=step.kind, flops=step.flops,
+        try:
+            self.injector.fire("batcher.flush", batch=len(pending))
+            gate_rows: Optional[np.ndarray] = None
+            if self.engine.supports_session_gate:
+                missing = sum(1 for q in pending if q.gate is None)
+                gate_begin = self._clock()
+                self._resolve_gates(pending, keys)
+                gate_end = self._clock()
+                for q, flush_span in sampled:
+                    q.trace.record_span(
+                        "gate-flush", gate_begin, gate_end,
+                        parent=flush_span, sessions=missing,
                     )
+                gate_rows = np.concatenate(
+                    [np.tile(q.gate, (q.num_candidates, 1)) for q in pending], axis=0
+                )
 
-        scores = self.engine.score_candidates(combined, gate=gate_rows, step_hook=step_hook)
+            combined: Batch = {
+                key: np.concatenate([q.batch[key] for q in pending], axis=0)
+                for key in keys
+            }
+            step_hook = None
+            if sampled:
+                total_rows = int(combined["label"].shape[0])
+                # ``begin`` nests each rank span under its trace's open flush
+                # span; the hook fans every kernel's interval out to all of
+                # them.
+                rank_spans = [
+                    (q.trace, q.trace.begin("rank", rows=total_rows)) for q, _ in sampled
+                ]
+
+                def step_hook(step, seconds):
+                    now = self._clock()
+                    for trace, rank_span in rank_spans:
+                        trace.record_span(
+                            step.name, now - seconds, now,
+                            parent=rank_span, kind=step.kind, flops=step.flops,
+                        )
+
+            scores = self.engine.score_candidates(
+                combined, gate=gate_rows, step_hook=step_hook
+            )
+        except Exception as exc:
+            # The batched forward (or its gate resolution) failed — degrade
+            # every queued request one tier instead of losing the batch.
+            # The shard's breaker counts the failure; enough of them in a
+            # row and the cluster stops routing here until the cooldown.
+            for _, rank_span in rank_spans:
+                rank_span.end()
+            for _, flush_span in sampled:
+                flush_span.end()
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            return self._flush_degraded(pending, exc)
+        if self.breaker is not None:
+            self.breaker.record_success()
         for _, rank_span in rank_spans:
             rank_span.end()
         self.metrics.record_batch(len(pending))
@@ -318,7 +481,8 @@ class MicroBatcher:
             latency_ms = (done - q.enqueue_time) * 1000.0
             self.engine.record_query(latency_ms)
             self.metrics.record_query(latency_ms, now=done)
-            q.trace.finish(latency_ms=latency_ms, batch_size=len(pending))
+            self.metrics.record_tier(TIER_FULL)
+            q.trace.finish(latency_ms=latency_ms, batch_size=len(pending), tier=TIER_FULL)
             results.append(
                 RankedList(
                     user=q.user,

@@ -23,6 +23,8 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.ranking_model import RankingModel
 from repro.data.synthetic import World
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.injector import NULL_INJECTOR, CrashFault
 from repro.obs import (
     NULL_TRACER,
     AlertManager,
@@ -34,12 +36,28 @@ from repro.obs import (
 from repro.retrieval import CascadeConfig
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import SessionCache
+from repro.serving.degrade import TIER_POPULARITY, DegradationPolicy
 from repro.serving.engine import RankedList, SearchEngine
 from repro.serving.metrics import MetricsSink
 from repro.utils.rng import SeedBank
 from repro.utils.tables import format_table
 
-__all__ = ["ShardWorker", "ShardedCluster", "shard_for_user"]
+__all__ = ["ShardWorker", "ShardedCluster", "SwapFailed", "shard_for_user"]
+
+
+class SwapFailed(RuntimeError):
+    """A hot swap failed partway and the cluster rolled itself back.
+
+    Raised by :meth:`ShardedCluster.swap_model` after every already-swapped
+    shard has been restored to the previous model/cascade/generation — the
+    fleet is consistent (all shards old) when this reaches the caller.
+    ``drained`` carries the results flushed before the failure; they were
+    scored by the old model and should still be delivered.
+    """
+
+    def __init__(self, message: str, drained: Optional[List[RankedList]] = None) -> None:
+        super().__init__(message)
+        self.drained: List[RankedList] = list(drained) if drained is not None else []
 
 #: Knuth's multiplicative hash constant (2^32 / golden ratio).
 _HASH_MULTIPLIER = 2654435761
@@ -61,6 +79,7 @@ class ShardWorker:
     cache: SessionCache
     batcher: MicroBatcher
     metrics: MetricsSink
+    breaker: CircuitBreaker
 
 
 class ShardedCluster:
@@ -88,11 +107,22 @@ class ShardedCluster:
         shadow_recall: Optional[ShadowRecallMonitor] = None,
         drift: Optional[DriftMonitor] = None,
         alerts: Optional[AlertManager] = None,
+        policy: Optional[DegradationPolicy] = None,
+        injector=None,
+        breaker_failure_threshold: int = 3,
+        breaker_cooldown_s: float = 0.05,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         self.num_shards = int(num_shards)
         self._clock = clock
+        #: Fleet fault injector (:class:`repro.faults.FaultInjector`); each
+        #: shard's engine/batcher receives a view bound with its shard id so
+        #: plans can target individual shards.  ``None`` installs the no-op.
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        #: Degradation policy shared by every shard's batcher (``None`` —
+        #: the default — disables budget checks and admission control).
+        self.policy = policy
         #: Fleet tracer, shared by every shard's engine and batcher (one
         #: sampling decision per request, wherever it lands).
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -121,6 +151,7 @@ class ShardedCluster:
         # once, not per shard.
         shared_cascade = None
         for shard_id in range(self.num_shards):
+            shard_injector = self.injector.bind(shard=shard_id)
             engine = SearchEngine(
                 world,
                 model,
@@ -133,11 +164,17 @@ class ShardedCluster:
                 ),
                 tracer=self.tracer,
                 shadow_recall=shadow_recall,
+                injector=shard_injector,
             )
             if cascade is not None and shared_cascade is None:
                 shared_cascade = engine.cascade
             cache = SessionCache(cache_capacity)
             metrics = MetricsSink(clock=clock, slo=slo)
+            breaker = CircuitBreaker(
+                failure_threshold=breaker_failure_threshold,
+                cooldown_s=breaker_cooldown_s,
+                clock=clock,
+            )
             batcher = MicroBatcher(
                 engine,
                 max_batch_size=max_batch_size,
@@ -146,8 +183,13 @@ class ShardedCluster:
                 metrics=metrics,
                 clock=clock,
                 tracer=self.tracer,
+                policy=policy,
+                injector=shard_injector,
+                breaker=breaker,
             )
-            self.workers.append(ShardWorker(shard_id, engine, cache, batcher, metrics))
+            self.workers.append(
+                ShardWorker(shard_id, engine, cache, batcher, metrics, breaker)
+            )
 
     # ------------------------------------------------------------------
     # routing
@@ -159,8 +201,73 @@ class ShardedCluster:
         return self.workers[self.shard_for(user)]
 
     def submit(self, user: int, query_category: int) -> List[RankedList]:
-        """Route one query to its owning shard's batcher."""
-        return self.worker_for(user).batcher.submit(user, query_category)
+        """Route one query to its owning shard's batcher.
+
+        Fault-aware routing: a shard whose circuit breaker is open is
+        skipped, and a shard that crashes on the submit (a
+        :class:`~repro.faults.CrashFault` at ``batcher.submit``) records a
+        breaker failure and the query **reroutes deterministically** to the
+        next sibling — ``(home + 1) % N``, ``(home + 2) % N``, … — so the
+        same user under the same fault state always lands on the same
+        fallback shard (its gate/behaviour caches stay warm there for the
+        duration of the incident).  If every shard refuses, the home
+        shard's popularity prior answers as the last-resort tier: a
+        submitted query *always* yields a response.
+
+        On the healthy path (home breaker closed, no crash) this is one
+        extra attribute compare over the pre-breaker routing.
+        """
+        home = self.shard_for(user)
+        for offset in range(self.num_shards):
+            shard = (home + offset) % self.num_shards
+            worker = self.workers[shard]
+            breaker = worker.breaker
+            if not breaker.allow():
+                continue
+            try:
+                results = worker.batcher.submit(user, query_category)
+            except CrashFault:
+                previous = breaker.state
+                breaker.record_failure()
+                if breaker.state == CircuitBreaker.OPEN and previous != CircuitBreaker.OPEN:
+                    self.control.events.record(
+                        "circuit_open", self._clock(), shard=shard,
+                        failures=breaker.failures_total,
+                    )
+                self.control.events.record(
+                    "shard_failover", self._clock(), shard=shard, user=int(user)
+                )
+                continue
+            previous = breaker.state
+            breaker.record_success()
+            if previous != CircuitBreaker.CLOSED and breaker.state == CircuitBreaker.CLOSED:
+                self.control.events.record("circuit_closed", self._clock(), shard=shard)
+            return results
+        return [self._last_resort(user, query_category)]
+
+    def _last_resort(self, user: int, query_category: int) -> RankedList:
+        """Every shard open or crashing: the home engine's popularity prior
+        still answers (no model forward, no cascade — nothing left to fail)."""
+        worker = self.worker_for(user)
+        items, scores, tier = worker.engine.degraded_ranking(
+            user, query_category, TIER_POPULARITY
+        )
+        now = self._clock()
+        worker.metrics.record_query(0.0, now=now)
+        worker.metrics.record_tier(tier)
+        worker.metrics.record_shed()
+        self.control.events.record(
+            "load_shed", now, user=int(user), reason="all_shards_unavailable"
+        )
+        return RankedList(
+            user=user,
+            query_category=query_category,
+            items=items,
+            scores=scores,
+            latency_ms=0.0,
+            model_version=worker.engine.model_version,
+            tier=tier,
+        )
 
     def poll(self) -> List[RankedList]:
         """Deadline check on every shard; returns all flushed results."""
@@ -225,23 +332,62 @@ class ShardedCluster:
 
         Returns the drained results (old-version rankings), which callers
         serving live traffic should still deliver.
+
+        The swap is **transactional at fleet granularity**: the previous
+        model/version/cascade of every shard is captured up front, and any
+        failure mid-loop (an index-build exception, a ``swap.shard`` /
+        ``cascade.build`` injected crash) rolls every already-swapped shard
+        back to its captured state — including a fresh generation bump, so
+        no gate vector resolved against the transient new model can
+        survive — before raising :class:`SwapFailed`.  The cluster is
+        always left in a *consistent generation*: all shards new on
+        success, all shards old on failure, never mixed.
         """
         drained: List[RankedList] = []
-        shared_cascade = None
-        for index, worker in enumerate(self.workers):
-            drained.extend(worker.batcher.flush())
-            if index == 0:
-                worker.engine.set_model(model, version)
-                shared_cascade = worker.engine.cascade  # None without a cascade config
-            else:
-                worker.engine.set_model(
-                    model,
-                    version,
-                    cascade=(
-                        shared_cascade.worker_view() if shared_cascade is not None else None
-                    ),
-                )
-            worker.cache.invalidate_all()
+        previous = [
+            (worker.engine.model, worker.engine.model_version, worker.engine.cascade)
+            for worker in self.workers
+        ]
+        swapped = 0
+        try:
+            shared_cascade = None
+            for index, worker in enumerate(self.workers):
+                drained.extend(worker.batcher.flush())
+                self.injector.fire("swap.shard", shard=index, version=version)
+                if index == 0:
+                    worker.engine.set_model(model, version)
+                    shared_cascade = worker.engine.cascade  # None without a cascade config
+                else:
+                    worker.engine.set_model(
+                        model,
+                        version,
+                        cascade=(
+                            shared_cascade.worker_view()
+                            if shared_cascade is not None
+                            else None
+                        ),
+                    )
+                worker.cache.invalidate_all()
+                swapped = index + 1
+        except Exception as exc:
+            # set_model assigns model/plan/cascade only after every build
+            # step succeeds, so the failing shard itself is still old; the
+            # shards before it swap back to their captured snapshots (the
+            # old cascade objects are reused — no rebuild on the rollback
+            # path) and get a second generation bump.
+            for index in range(swapped):
+                worker = self.workers[index]
+                old_model, old_version, old_cascade = previous[index]
+                worker.engine.set_model(old_model, old_version, cascade=old_cascade)
+                worker.cache.invalidate_all()
+            self.control.events.record(
+                "rollback", self._clock(), version=version,
+                swapped_shards=swapped, reason=type(exc).__name__,
+            )
+            raise SwapFailed(
+                f"hot swap to {version!r} failed at shard {swapped}: {exc}",
+                drained=drained,
+            ) from exc
         self.control.events.record(
             "cache_invalidation", self._clock(), shards=self.num_shards
         )
@@ -259,6 +405,23 @@ class ShardedCluster:
         self.shadow_recall = monitor
         for worker in self.workers:
             worker.engine.shadow_recall = monitor
+
+    # ------------------------------------------------------------------
+    # fleet health
+    # ------------------------------------------------------------------
+    @property
+    def open_breakers(self) -> int:
+        """Shards currently not fully closed (open or half-open)."""
+        return sum(
+            1 for worker in self.workers if worker.breaker.state != CircuitBreaker.CLOSED
+        )
+
+    def breaker_status(self) -> List[Dict[str, object]]:
+        """Per-shard circuit-breaker health state."""
+        return [
+            {"shard": worker.shard_id, **worker.breaker.status()}
+            for worker in self.workers
+        ]
 
     # ------------------------------------------------------------------
     # fleet metrics
@@ -280,9 +443,11 @@ class ShardedCluster:
                 "queries": worker.metrics.queries,
                 "avg_latency_ms": worker.engine.avg_latency_ms,
                 "cache_hit_rate": worker.cache.gate_hit_rate,
+                "breaker": worker.breaker.state,
             }
             for worker in self.workers
         ]
+        fleet["breakers"] = self.breaker_status()
         return fleet
 
     def dashboard(
@@ -305,6 +470,7 @@ class ShardedCluster:
         if registry is not None:
             merged_registry = merged_registry.merge(registry)
         summary = self.summary()
+        degradation = summary["degradation"]
         flat_summary = {
             "shards": self.num_shards,
             "model_version": self.model_version or "unversioned",
@@ -314,6 +480,9 @@ class ShardedCluster:
             "p99_ms": round(summary["latency_ms"]["p99"], 3),
             "mean_batch": round(summary["mean_batch_size"], 2),
             "cache_hit_rate": round(summary["cache"]["hit_rate"], 4),
+            "requests_shed": degradation["shed"],
+            "degraded_share": round(degradation["degraded_share"], 4),
+            "open_breakers": self.open_breakers,
         }
         return write_dashboard(
             path,
@@ -325,6 +494,8 @@ class ShardedCluster:
             drift=self.drift,
             alerts=self.alerts,
             shadow=self.shadow_recall,
+            breakers=self.breaker_status(),
+            tiers=degradation["tiers"],
             traces=(
                 traces
                 if traces is not None
@@ -357,19 +528,37 @@ class ShardedCluster:
                 title=f"fleet — {self.num_shards} shard(s), model {version}",
             ),
             format_table(
-                ["shard", "queries", "avg ms", "cache hit"],
+                ["shard", "queries", "avg ms", "cache hit", "breaker", "opens"],
                 [
                     [
                         worker.shard_id,
                         worker.metrics.queries,
                         f"{worker.engine.avg_latency_ms:.2f}",
                         f"{worker.cache.gate_hit_rate:.1%}",
+                        worker.breaker.state,
+                        worker.breaker.opens,
                     ]
                     for worker in self.workers
                 ],
                 title="per-shard",
             ),
         ]
+        degradation = summary["degradation"]
+        tiers = degradation["tiers"]
+        sections.append(
+            format_table(
+                ["full", "prefilter", "popularity", "shed", "degraded share", "open breakers"],
+                [[
+                    tiers.get("full", 0),
+                    tiers.get("prefilter", 0),
+                    tiers.get("popularity", 0),
+                    degradation["shed"],
+                    f"{degradation['degraded_share']:.2%}",
+                    self.open_breakers,
+                ]],
+                title="degradation ladder",
+            )
+        )
         if self.slo is not None:
             status = self.slo.status()
             sections.append(

@@ -1,0 +1,89 @@
+"""Graceful degradation: the serving ladder and its admission policy.
+
+Under fault pressure the fleet answers *something* for every request —
+degraded beats dropped.  Three tiers, cheapest last:
+
+* ``full`` — cascade retrieval + the compiled AW-MoE forward.  The normal
+  path; every response outside an incident lands here.
+* ``prefilter`` — the cascade's calibrated linear prefilter scores the
+  already-retrieved shortlist and the full model is skipped.  Used when a
+  request has burned too much of its deadline budget before ranking, or
+  when the batched forward itself fails.
+* ``popularity`` — the category's precomputed popularity prior orders the
+  candidates; no model, no cascade, no per-user state.  Used for load
+  shedding, dead-shard last resorts, and retrieval failures.
+
+Every response is tagged with its tier (a :class:`~repro.serving.engine.
+RankedList` field, a trace-span attribute, and a metrics counter), so
+availability burn is measurable: ``degraded_share`` and ``shed_rate`` feed
+the default fault alert rules in :mod:`repro.faults.chaos`.
+
+:class:`DegradationPolicy` is opt-in: a batcher built without one (the
+default) performs no budget checks, no queue-depth checks, and no extra
+clock reads — the pre-policy hot path, bitwise identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "TIER_FULL",
+    "TIER_PREFILTER",
+    "TIER_POPULARITY",
+    "TIERS",
+    "DegradationPolicy",
+]
+
+TIER_FULL = "full"
+TIER_PREFILTER = "prefilter"
+TIER_POPULARITY = "popularity"
+
+#: Ladder order, best tier first.
+TIERS = (TIER_FULL, TIER_PREFILTER, TIER_POPULARITY)
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Per-request deadline budget and admission control for the batcher.
+
+    Parameters
+    ----------
+    deadline_ms:
+        End-to-end per-request budget.  Arrivals are shed (answered
+        immediately at the popularity tier) while the oldest queued request
+        has already waited past this deadline — the queue is drowning, so
+        new work must not pile on.
+    full_budget_fraction:
+        How much of ``deadline_ms`` submit-side preparation (gate +
+        retrieval) may consume before the request drops to the prefilter
+        tier instead of queueing for the full forward.
+    max_queue:
+        Bounded-queue admission control: arrivals beyond this many pending
+        requests are shed.  ``None`` leaves the queue bounded only by the
+        batcher's ``max_batch_size`` flush trigger.
+    shed_when_stale:
+        Disable to keep admission purely size-based (used by tests that
+        want deterministic queue-depth shedding only).
+    """
+
+    deadline_ms: float = 50.0
+    full_budget_fraction: float = 0.5
+    max_queue: Optional[int] = None
+    shed_when_stale: bool = True
+
+    def __post_init__(self) -> None:
+        if self.deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {self.deadline_ms}")
+        if not 0.0 < self.full_budget_fraction <= 1.0:
+            raise ValueError(
+                f"full_budget_fraction must be in (0, 1], got {self.full_budget_fraction}"
+            )
+        if self.max_queue is not None and self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1 or None, got {self.max_queue}")
+
+    @property
+    def degrade_after_ms(self) -> float:
+        """Submit-side budget before dropping to the prefilter tier."""
+        return self.deadline_ms * self.full_budget_fraction

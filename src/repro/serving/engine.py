@@ -46,10 +46,12 @@ from repro.data.features import (
 )
 from repro.data.schema import Batch
 from repro.data.synthetic import World
+from repro.faults.injector import NULL_INJECTOR
 from repro.infer import CompiledModel, CompileError, compile_model
 from repro.obs import NULL_TRACE, NULL_TRACER, ShadowRecallMonitor
 from repro.obs.trace import kernel_span_hook
 from repro.retrieval import CascadeConfig, RetrievalCascade, category_popularity_probs
+from repro.serving.degrade import TIER_FULL, TIER_POPULARITY, TIER_PREFILTER
 
 __all__ = ["RankedList", "SearchEngine"]
 
@@ -67,6 +69,9 @@ class RankedList:
     #: is told a version).  Stamped at scoring time, so hot-swap tests can
     #: assert no flush ever mixes versions.
     model_version: Optional[str] = None
+    #: Degradation tier that produced this ranking (``full`` outside
+    #: incidents — see :mod:`repro.serving.degrade`).
+    tier: str = TIER_FULL
 
 
 class SearchEngine:
@@ -84,9 +89,14 @@ class SearchEngine:
         prebuilt_cascade: Optional[RetrievalCascade] = None,
         tracer=None,
         shadow_recall: Optional[ShadowRecallMonitor] = None,
+        injector=None,
     ) -> None:
         self.world = world
         self._rng = rng
+        #: Fault injector (:class:`repro.faults.FaultInjector`).  ``None``
+        #: installs the shared no-op injector — same pattern as the tracer,
+        #: so the disabled path never branches.
+        self.injector = injector if injector is not None else NULL_INJECTOR
         #: Optional :class:`~repro.obs.ShadowRecallMonitor`: a head-sampled
         #: fraction of live cascade retrievals is re-run through the
         #: exhaustive oracle (full-model top-k over every category member —
@@ -145,6 +155,11 @@ class SearchEngine:
         :meth:`repro.serving.cluster.ShardedCluster.swap_model` does both.
         Models with no registered compiler serve through the eager forward.
         """
+        # "cascade.build" injection point: an index-build exception here
+        # (mid-hot-swap) leaves the engine untouched — nothing is assigned
+        # until every build step below has succeeded — so the caller's
+        # rollback sees a consistent old-model shard.
+        self.injector.fire("cascade.build", version=version)
         compiled: Optional[CompiledModel] = None
         if self.compile_enabled:
             try:
@@ -211,6 +226,7 @@ class SearchEngine:
         members = self._by_category[query_category]
         if members.size == 0:
             raise ValueError(f"category {query_category} has no items")
+        self.injector.fire("engine.retrieve", category=int(query_category))
         if self.cascade is not None and user is not None:
             candidates = self.cascade.retrieve(user, query_category, gate=gate, trace=trace)
             if self.shadow_recall is not None and self.shadow_recall.should_sample():
@@ -252,6 +268,57 @@ class SearchEngine:
         recall = sum(1 for item in oracle.tolist() if item in kept) / k
         monitor.observe(recall)
         return recall
+
+    def degraded_ranking(
+        self,
+        user: int,
+        query_category: int,
+        tier: str,
+        candidates: Optional[np.ndarray] = None,
+    ) -> tuple:
+        """Best-effort ``(items, scores, tier)`` below the full tier.
+
+        ``prefilter`` ranks with the cascade's calibrated linear prefilter
+        (:meth:`~repro.retrieval.RetrievalCascade.score_candidates`) —
+        personalized, no full-model forward.  ``popularity`` ranks by the
+        category's precomputed popularity prior — no model at all, no RNG,
+        fully deterministic.  A requested tier that cannot be served (no
+        cascade attached, prefilter itself failing) falls through to
+        popularity; the tier actually used is returned.
+
+        ``candidates`` restricts ranking to an already-retrieved shortlist
+        (the deadline-budget path reuses its submit-time retrieval); when
+        omitted the popularity tier ranks the whole category and the
+        prefilter tier retrieves through the cascade first.
+        """
+        if tier == TIER_PREFILTER and self.cascade is not None and user is not None:
+            try:
+                if candidates is None:
+                    shortlist = self.cascade.retrieve(user, query_category)
+                else:
+                    shortlist = np.asarray(candidates)
+                scores = np.asarray(
+                    self.cascade.score_candidates(user, query_category, shortlist),
+                    dtype=np.float32,
+                )
+                order = np.argsort(-scores, kind="stable")
+                return shortlist[order], scores[order], TIER_PREFILTER
+            except Exception:
+                pass  # the floor of the ladder below never fails
+        members = self._by_category[query_category]
+        probs = self._category_pop_probs[query_category]
+        if candidates is not None and len(candidates):
+            shortlist = np.asarray(candidates)
+            # Members are sorted ascending, so popularity priors for an
+            # arbitrary shortlist are a searchsorted away.
+            index = np.searchsorted(members, shortlist)
+            index = np.clip(index, 0, probs.size - 1)
+            scores = probs[index].astype(np.float32)
+        else:
+            shortlist = members
+            scores = probs.astype(np.float32)
+        order = np.argsort(-scores, kind="stable")[: self.candidates_per_query]
+        return shortlist[order], scores[order], TIER_POPULARITY
 
     def build_batch(
         self,

@@ -136,6 +136,10 @@ class MetricsSink:
         self.canary_passes = 0
         self.canary_failures = 0
         self.log_lag = 0  # gauge: logged-but-unconsumed click sessions
+        # Degradation-ladder accounting (repro.serving.degrade): responses
+        # per tier, plus how many of those were load-shed at admission.
+        self.tier_counts: Dict[str, int] = {}
+        self.shed = 0
         self.events = EventLog(capacity=event_capacity)
         self.slo = slo
         self.cost_model: Optional[GateCostReport] = None
@@ -191,6 +195,14 @@ class MetricsSink:
             self.events.record(
                 "recall_probe", now, recall=float(recall), version=version
             )
+
+    def record_tier(self, tier: str) -> None:
+        """One response served at ``tier`` (see :mod:`repro.serving.degrade`)."""
+        self.tier_counts[tier] = self.tier_counts.get(tier, 0) + 1
+
+    def record_shed(self) -> None:
+        """One request answered via admission-control load shedding."""
+        self.shed += 1
 
     def record_log_lag(self, lag: int) -> None:
         """Gauge: click-log sessions appended but not yet consumed by the
@@ -268,6 +280,27 @@ class MetricsSink:
         return max(self._batch_counts)
 
     @property
+    def tier_responses(self) -> int:
+        """Responses with a recorded degradation tier (any rung)."""
+        return sum(self.tier_counts.values())
+
+    @property
+    def degraded_share(self) -> float:
+        """Fraction of tiered responses served below the full tier."""
+        total = self.tier_responses
+        if total == 0:
+            return 0.0
+        return 1.0 - self.tier_counts.get("full", 0) / total
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of tiered responses answered via load shedding."""
+        total = self.tier_responses
+        if total == 0:
+            return 0.0
+        return self.shed / total
+
+    @property
     def gate_flops_saved(self) -> int:
         """Estimated gate-network FLOPs skipped thanks to cache hits.
 
@@ -311,6 +344,10 @@ class MetricsSink:
         merged.canary_passes = self.canary_passes + other.canary_passes
         merged.canary_failures = self.canary_failures + other.canary_failures
         merged.log_lag = max(self.log_lag, other.log_lag)
+        for counts in (self.tier_counts, other.tier_counts):
+            for tier, count in counts.items():
+                merged.tier_counts[tier] = merged.tier_counts.get(tier, 0) + count
+        merged.shed = self.shed + other.shed
         merged.events = self.events.merge(other.events)
         merged.cost_model = self.cost_model if self.cost_model is not None else other.cost_model
         merged.cascade_cost = (
@@ -363,6 +400,12 @@ class MetricsSink:
                 "canary_failures": self.canary_failures,
                 "click_log_lag": self.log_lag,
             },
+            "degradation": {
+                "tiers": dict(sorted(self.tier_counts.items())),
+                "shed": self.shed,
+                "shed_rate": self.shed_rate,
+                "degraded_share": self.degraded_share,
+            },
             "events": self.events.counts(),
             "slo": self.slo.status() if self.slo is not None else None,
             "cost": {
@@ -414,6 +457,19 @@ class MetricsSink:
         registry.gauge(
             f"{prefix}_click_log_lag", "unconsumed click-log sessions"
         ).set(self.log_lag)
+        for tier, count in sorted(self.tier_counts.items()):
+            registry.counter(
+                f"{prefix}_served_{tier}_total", f"responses served at the {tier} tier"
+            ).inc(count)
+        registry.counter(
+            f"{prefix}_requests_shed_total", "requests answered via load shedding"
+        ).inc(self.shed)
+        registry.gauge(
+            f"{prefix}_shed_rate", "load-shed fraction of tiered responses"
+        ).set(self.shed_rate)
+        registry.gauge(
+            f"{prefix}_degraded_share", "below-full-tier fraction of responses"
+        ).set(self.degraded_share)
         return registry
 
     def prometheus_text(self, prefix: str = "repro") -> str:

@@ -1,0 +1,44 @@
+"""Fixtures for the fault/chaos tests: a trained model + fleet parts.
+
+Mirrors ``tests/online/conftest.py`` (directory-scoped fixtures don't cross
+test packages); the session-scoped world/dataset fixtures come from the
+top-level conftest.
+"""
+
+import pytest
+
+from repro.core import ModelConfig, TrainConfig, build_model, train_model
+from repro.utils.rng import generator
+
+
+@pytest.fixture(scope="session")
+def trained_state(unit_world_and_data):
+    """State dict of one briefly-trained AW-MoE on the unit world."""
+    _, train, _ = unit_world_and_data
+    model = build_model("aw_moe", ModelConfig.unit(), train.meta, generator(0))
+    train_model(
+        model, train, TrainConfig(epochs=1, batch_size=64, learning_rate=3e-3), seed=8
+    )
+    return model.state_dict()
+
+
+@pytest.fixture()
+def make_model(unit_world_and_data, trained_state):
+    """Factory for architecture-identical models; ``trained=True`` warm-loads
+    the session's trained weights (each call returns an independent copy)."""
+    _, train, _ = unit_world_and_data
+
+    def factory(trained: bool = False, init_seed: int = 1):
+        model = build_model(
+            "aw_moe", ModelConfig.unit(), train.meta, generator(init_seed)
+        )
+        if trained:
+            model.load_state_dict(trained_state)
+        return model
+
+    return factory
+
+
+@pytest.fixture()
+def online_train_config():
+    return TrainConfig(epochs=1, batch_size=64, learning_rate=1e-3)

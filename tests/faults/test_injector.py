@@ -1,0 +1,181 @@
+"""FaultInjector: deterministic schedules, gates, filters, and the no-op."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    NULL_INJECTOR,
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    TransientFault,
+)
+from repro.obs import EventLog
+
+
+class TestFaultSpecValidation:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown injection point"):
+            FaultSpec("no.such.point", "crash")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("batcher.submit", "explode")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("batcher.submit", "crash", probability=0.0)
+        with pytest.raises(ValueError):
+            FaultSpec("batcher.submit", "crash", probability=1.5)
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("batcher.submit", "crash", after=-1)
+        with pytest.raises(ValueError):
+            FaultSpec("batcher.submit", "crash", times=0)
+
+
+class TestGates:
+    def test_after_skips_leading_visits(self):
+        inj = FaultInjector(
+            FaultPlan(specs=[FaultSpec("batcher.submit", "crash", after=2, times=1)])
+        )
+        inj.fire("batcher.submit")
+        inj.fire("batcher.submit")
+        with pytest.raises(CrashFault):
+            inj.fire("batcher.submit")
+
+    def test_times_caps_firings(self):
+        inj = FaultInjector(
+            FaultPlan(specs=[FaultSpec("batcher.submit", "transient", times=2)])
+        )
+        for _ in range(2):
+            with pytest.raises(TransientFault):
+                inj.fire("batcher.submit")
+        inj.fire("batcher.submit")  # exhausted: clean
+        assert inj.fired("batcher.submit") == 2
+
+    def test_match_filters_on_context(self):
+        inj = FaultInjector(
+            FaultPlan(
+                specs=[
+                    FaultSpec("batcher.submit", "crash", times=None, match={"shard": 1})
+                ]
+            )
+        )
+        inj.fire("batcher.submit", shard=0)  # clean
+        with pytest.raises(CrashFault):
+            inj.fire("batcher.submit", shard=1)
+
+    def test_bound_context_is_merged_and_call_site_wins(self):
+        inj = FaultInjector(
+            FaultPlan(
+                specs=[
+                    FaultSpec("batcher.submit", "crash", times=None, match={"shard": 1})
+                ]
+            )
+        )
+        bound = inj.bind(shard=1)
+        with pytest.raises(CrashFault):
+            bound.fire("batcher.submit")
+        bound.fire("batcher.submit", shard=0)  # explicit ctx overrides bound
+
+    def test_latency_uses_the_sleeper(self):
+        slept = []
+        inj = FaultInjector(
+            FaultPlan(
+                specs=[FaultSpec("engine.retrieve", "latency", latency_ms=25.0)]
+            ),
+            sleeper=slept.append,
+        )
+        inj.fire("engine.retrieve")
+        assert slept == [0.025]
+
+
+class TestDeterminism:
+    def _schedule(self, plan, visits=200):
+        inj = FaultInjector(plan)
+        fired = []
+        for visit in range(visits):
+            try:
+                inj.fire("batcher.submit")
+            except CrashFault:
+                fired.append(visit)
+        return fired
+
+    def test_same_plan_same_schedule(self):
+        plan = FaultPlan(
+            seed=3,
+            specs=[FaultSpec("batcher.submit", "crash", probability=0.3, times=None)],
+        )
+        assert self._schedule(plan) == self._schedule(plan)
+        assert self._schedule(plan)  # and it actually fires
+
+    def test_adding_a_spec_never_shifts_earlier_specs(self):
+        base = FaultSpec("batcher.submit", "crash", probability=0.3, times=None)
+        extra = FaultSpec("canary.judge", "transient", probability=0.5, times=None)
+        alone = self._schedule(FaultPlan(seed=3, specs=[base]))
+        with_extra = self._schedule(FaultPlan(seed=3, specs=[base, extra]))
+        assert alone == with_extra
+
+    def test_different_seed_different_schedule(self):
+        spec = FaultSpec("batcher.submit", "crash", probability=0.3, times=None)
+        assert self._schedule(FaultPlan(seed=0, specs=[spec])) != self._schedule(
+            FaultPlan(seed=1, specs=[spec])
+        )
+
+
+class TestSideChannels:
+    def test_truncate_fraction(self):
+        inj = FaultInjector(
+            FaultPlan(
+                specs=[FaultSpec("clicklog.append", "torn_write", truncate_at=0.25)]
+            )
+        )
+        assert inj.truncate_fraction("clicklog.append") == 0.25
+        assert inj.truncate_fraction("clicklog.append") is None  # times=1 spent
+
+    def test_corrupt_file_flips_bytes(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        original = bytes(range(200))
+        path.write_bytes(original)
+        inj = FaultInjector(
+            FaultPlan(specs=[FaultSpec("registry.checkpoint", "corrupt")])
+        )
+        assert inj.corrupt_file("registry.checkpoint", str(path)) is True
+        mutated = path.read_bytes()
+        assert mutated != original
+        assert len(mutated) == len(original)  # flipped in place, not truncated
+        assert inj.corrupt_file("registry.checkpoint", str(path)) is False
+
+    def test_fired_log_and_events(self, tmp_path):
+        events = EventLog()
+        inj = FaultInjector(
+            FaultPlan(specs=[FaultSpec("trainer.update", "transient")]),
+            events=events,
+        )
+        with pytest.raises(TransientFault):
+            inj.fire("trainer.update", update=4)
+        assert inj.fired() == 1
+        assert inj.log[0]["point"] == "trainer.update"
+        assert inj.log[0]["update"] == 4
+        assert events.counts()["fault_injected"] == 1
+        out = tmp_path / "faults.jsonl"
+        inj.to_jsonl(str(out))
+        lines = out.read_text().splitlines()
+        assert json.loads(lines[0])["kind"] == "transient"
+
+
+class TestNullInjector:
+    def test_everything_is_a_no_op(self, tmp_path):
+        NULL_INJECTOR.fire("batcher.submit", shard=0)
+        assert NULL_INJECTOR.truncate_fraction("clicklog.append") is None
+        assert NULL_INJECTOR.corrupt_file("registry.checkpoint", "/nope") is False
+        assert NULL_INJECTOR.bind(shard=1) is NULL_INJECTOR
+        assert NULL_INJECTOR.fired() == 0
+        assert not NULL_INJECTOR.enabled
+        out = tmp_path / "empty.jsonl"
+        NULL_INJECTOR.to_jsonl(str(out))
+        assert out.read_text() == ""

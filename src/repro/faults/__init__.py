@@ -30,7 +30,9 @@ from repro.faults.chaos import (
     DEFAULT_FAULT_ALERT_RULES,
     default_chaos_plan,
     default_fault_alert_rules,
+    default_fleet_chaos_plan,
     run_chaos_soak,
+    run_fleet_soak,
 )
 from repro.faults.injector import (
     KNOWN_POINTS,
@@ -49,7 +51,9 @@ __all__ = [
     "DEFAULT_FAULT_ALERT_RULES",
     "default_chaos_plan",
     "default_fault_alert_rules",
+    "default_fleet_chaos_plan",
     "run_chaos_soak",
+    "run_fleet_soak",
     "KNOWN_POINTS",
     "NULL_INJECTOR",
     "CrashFault",

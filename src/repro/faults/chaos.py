@@ -25,17 +25,25 @@ __all__ = [
     "DEFAULT_FAULT_ALERT_RULES",
     "default_fault_alert_rules",
     "default_chaos_plan",
+    "default_fleet_chaos_plan",
     "run_chaos_soak",
+    "run_fleet_soak",
 ]
 
 #: Declarative alert rules over the resilience telemetry the online loop
 #: feeds into its snapshots (``repro.obs.AlertRule.parse`` syntax).  Two
 #: consecutive breaches are required for the rate rules so one bad flush
 #: doesn't page; an open breaker pages immediately — it *is* the incident.
+#: The fleet rules evaluate over :meth:`repro.serving.fleet.FleetSupervisor.
+#: telemetry_extra` scalars; a snapshot without them (the in-process path)
+#: counts as healthy — absent data is not an incident.
 DEFAULT_FAULT_ALERT_RULES = (
     "shed-rate: shed_rate > 0.05 for 2",
     "fallback-share: degraded_share > 0.25 for 2",
     "open-breakers: open_breakers >= 1",
+    "worker-flap: worker_restarts >= 3",
+    "worker-quarantine: quarantined_workers >= 1",
+    "fleet-capacity: workers_available < 1",
 )
 
 
@@ -93,6 +101,52 @@ def default_chaos_plan(seed: int = 0, shards: int = 2) -> FaultPlan:
                 "swap.shard", "crash",
                 after=1, times=1, match={"shard": shards - 1},
             ),
+            # Process-fleet family (no-ops on the in-process path, which
+            # never visits these points; per-spec RNG streams are
+            # independent, so appending them never shifts the schedule
+            # above): one worker-process death mid-traffic, a lost-
+            # heartbeat burst long enough to trip the hung-worker deadline,
+            # and one torn slab publish on the first post-bootstrap swap.
+            FaultSpec("worker.exec", "crash", after=25, times=1, match={"worker": 0}),
+            FaultSpec(
+                "worker.heartbeat", "crash",
+                after=3, times=8, match={"worker": shards - 1},
+            ),
+            FaultSpec("slab.publish", "torn_write", after=1, times=1),
+        ),
+    )
+
+
+def default_fleet_chaos_plan(seed: int = 0, workers: int = 2) -> FaultPlan:
+    """The process-fleet drill: every failure mode the supervisor claims to
+    survive, sized for a soak of a few hundred requests.
+
+    Worker 0 is OOM-killed mid-batch once warm (``worker.exec`` crash →
+    ``os._exit``), the last worker loses a burst of heartbeats long enough
+    to be declared hung and killed, the first post-bootstrap slab publish
+    is torn (destroyed and retried under a fresh name), and worker 0's
+    first restart hits a transient spawn failure (one more backoff cycle).
+    The zero-drop invariant must hold throughout: every submitted request
+    is answered by a sibling, a restarted worker, or the supervisor's
+    popularity floor.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec("worker.exec", "crash", after=12, times=1, match={"worker": 0}),
+            FaultSpec(
+                "worker.heartbeat", "crash",
+                after=3, times=12, match={"worker": workers - 1},
+            ),
+            FaultSpec("slab.publish", "torn_write", after=1, times=1),
+            # ``after`` counts *matching* visits, so this spares worker 0's
+            # bootstrap spawn and fails its first restart attempt instead.
+            FaultSpec(
+                "worker.spawn", "transient",
+                after=1, times=1, match={"worker": 0},
+            ),
         ),
     )
 
@@ -139,4 +193,62 @@ def run_chaos_soak(
         "event_counts": loop.cluster.control.events.counts(),
         "faults_fired": None if injector is None else injector.fired(),
         "reports": reports,
+    }
+
+
+def run_fleet_soak(
+    fleet,
+    generator,
+    events: int = 300,
+    swap_models: Optional[List[Any]] = None,
+    settle_s: float = 0.0,
+) -> Dict[str, Any]:
+    """Drive a :class:`~repro.serving.fleet.FleetSupervisor` through
+    generated traffic (plus optional hot swaps) and audit zero drops.
+
+    ``swap_models`` hot-swaps each ``(model, version)`` pair at evenly
+    spaced points in the traffic — under a fleet fault plan the first swap
+    is where the torn ``slab.publish`` fires and is retried.  ``settle_s``
+    keeps servicing the fleet after the drain so in-flight restarts
+    complete before the report snapshots worker states.  Returns the
+    JSON-serializable soak report (the fleet benchmark's artifact).
+    """
+    traffic = generator.generate(int(events))
+    swaps = list(swap_models or [])
+    swap_at = {
+        (index + 1) * len(traffic) // (len(swaps) + 1): swap
+        for index, swap in enumerate(swaps)
+    }
+    answered = 0
+    swaps_done = 0
+    for index, event in enumerate(traffic):
+        if index in swap_at:
+            model, version = swap_at[index]
+            answered += len(fleet.swap_model(model, version=version))
+            swaps_done += 1
+        answered += len(fleet.submit(event.user, event.query_category))
+    answered += len(fleet.flush())
+    if settle_s > 0:
+        import time as _time
+
+        deadline = _time.monotonic() + settle_s
+        while _time.monotonic() < deadline:
+            answered += len(fleet.poll())
+            _time.sleep(0.01)
+        answered += len(fleet.flush())
+    counts = fleet.control.events.counts()
+    return {
+        "submitted": len(traffic),
+        "answered": answered,
+        "dropped": len(traffic) - answered,
+        "swaps": swaps_done,
+        "generation": fleet.generation,
+        "restarts": fleet.restarts_total,
+        "quarantined": fleet.quarantined_workers,
+        "workers_available": fleet.workers_available,
+        "recovered_segments": list(fleet.recovered_segments),
+        "worker_status": fleet.worker_status(),
+        "event_counts": counts,
+        "faults_fired_supervisor": fleet.injector.fired(),
+        "telemetry": fleet.telemetry_extra(),
     }

@@ -74,6 +74,11 @@ KNOWN_POINTS = frozenset(
         "clicklog.append",  # ClickLog disk append (torn log records)
         "trainer.update",  # IncrementalTrainer.update entry
         "canary.judge",  # CanaryGate.judge entry
+        # Process fleet (repro.serving.fleet):
+        "worker.spawn",  # FleetSupervisor spawning a worker process
+        "worker.exec",  # worker request execution (crash = simulated OOM kill)
+        "worker.heartbeat",  # worker heartbeat send (crash = beat lost)
+        "slab.publish",  # SnapshotSlab.publish (torn_write = partial segment)
     }
 )
 

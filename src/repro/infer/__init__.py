@@ -24,6 +24,13 @@ from repro.infer.compiler import (
 )
 from repro.infer.kernels import PackedExperts, PackedMLP, sigmoid_
 from repro.infer.plan import BufferArena, InferencePlan, PlanStep
+from repro.infer.slabs import (
+    SlabFormatError,
+    SnapshotSlab,
+    TornSlabError,
+    shared_memory_available,
+    sweep_orphan_slabs,
+)
 from repro.obs.profiler import PlanProfiler
 
 __all__ = [
@@ -39,4 +46,9 @@ __all__ = [
     "BufferArena",
     "InferencePlan",
     "PlanStep",
+    "SlabFormatError",
+    "SnapshotSlab",
+    "TornSlabError",
+    "shared_memory_available",
+    "sweep_orphan_slabs",
 ]

@@ -38,7 +38,14 @@ EVENT_KINDS = frozenset(
         "rollback",  # the fleet/registry reverted to the previous production version
         "quarantine",  # a corrupted candidate checkpoint was quarantined
         "retry",  # a transient train/canary failure was retried with backoff
-        "state_recovered",  # persistent state (index/log) was repaired at startup
+        "state_recovered",  # persistent state (index/log/shm) was repaired at startup
+        # Process fleet (repro.serving.fleet):
+        "worker_spawned",  # a fleet worker process came up and acked ready
+        "worker_died",  # a worker crashed or was declared hung and killed
+        "worker_restarted",  # a dead worker was respawned after backoff
+        "worker_quarantined",  # flap detection parked a repeatedly-dying worker
+        "slab_published",  # a shared-memory snapshot slab was written and committed
+        "slab_unlinked",  # a slab generation was unlinked (superseded or torn)
     }
 )
 

@@ -312,6 +312,22 @@ class RetrievalCascade:
         """
         self._scorer = scorer
 
+    def detach_for_publish(self) -> "RetrievalCascade":
+        """A picklable twin of this build for shared-memory publishing.
+
+        The expensive build output — item vectors, index slabs, calibration
+        weights, the model's weight arrays — is plain numpy and ships
+        zero-copy through a :class:`~repro.infer.slabs.SnapshotSlab`.  The
+        two members that hold compiled-plan closures are dropped: the
+        prefilter (cheap per-worker scratch, rebuilt by :meth:`worker_view`
+        on the attaching side) and the scorer (each worker binds the plan it
+        compiles via :meth:`bind_scorer`, exactly as in-process shards do).
+        """
+        detached = copy.copy(self)
+        detached.prefilter = None
+        detached._scorer = None
+        return detached
+
     # ------------------------------------------------------------------
     # build passes
     # ------------------------------------------------------------------

@@ -75,6 +75,7 @@ from repro.serving.cost import (
     model_flops,
 )
 from repro.serving.engine import RankedList, SearchEngine
+from repro.serving.fleet import FleetConfig, FleetSupervisor, build_fleet
 from repro.serving.loadgen import TrafficEvent, ZipfLoadGenerator, replay
 from repro.serving.metrics import (
     ManualClock,
@@ -95,6 +96,9 @@ __all__ = [
     "ShardWorker",
     "SwapFailed",
     "shard_for_user",
+    "FleetConfig",
+    "FleetSupervisor",
+    "build_fleet",
     "TIER_FULL",
     "TIER_POPULARITY",
     "TIER_PREFILTER",

@@ -1,0 +1,184 @@
+"""Shared-memory snapshot slabs: publish/attach roundtrip, corruption
+detection, and the startup orphan sweep."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.infer import (
+    SlabFormatError,
+    SnapshotSlab,
+    TornSlabError,
+    shared_memory_available,
+    sweep_orphan_slabs,
+)
+from repro.infer.slabs import SLAB_PREFIX
+from repro.obs import EventLog
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="POSIX shared memory unavailable"
+)
+
+
+def _publish(payload, **kwargs):
+    slab = SnapshotSlab.publish(payload, **kwargs)
+    return slab
+
+
+class TestRoundtrip:
+    def test_payload_roundtrips_with_zero_copy_arrays(self):
+        rng = np.random.default_rng(3)
+        payload = {
+            "weights": rng.standard_normal((17, 5)).astype(np.float32),
+            "ids": np.arange(40, dtype=np.int64),
+            "meta": {"version": "v3", "count": 7},
+            "empty": np.zeros((0, 4), dtype=np.float64),
+        }
+        slab = _publish(payload)
+        try:
+            reader = SnapshotSlab.attach(slab.name)
+            try:
+                np.testing.assert_array_equal(
+                    reader.payload["weights"], payload["weights"]
+                )
+                np.testing.assert_array_equal(reader.payload["ids"], payload["ids"])
+                assert reader.payload["meta"] == payload["meta"]
+                assert reader.payload["empty"].shape == (0, 4)
+                # Arrays are views over the mapped segment, not copies.
+                assert not reader.payload["weights"].flags.owndata
+            finally:
+                reader.payload = None
+                reader.close()
+        finally:
+            slab.destroy()
+
+    def test_reader_views_are_read_only(self):
+        slab = _publish({"a": np.ones(8)})
+        try:
+            reader = SnapshotSlab.attach(slab.name)
+            try:
+                assert not reader.payload["a"].flags.writeable
+                with pytest.raises(ValueError):
+                    reader.payload["a"][0] = 2.0
+            finally:
+                reader.payload = None
+                reader.close()
+        finally:
+            slab.destroy()
+
+    def test_duplicate_arrays_are_stored_once_and_share_memory(self):
+        shared = np.arange(1000, dtype=np.float64)
+        slab = _publish({"a": shared, "same": shared, "other": shared + 1})
+        try:
+            # Byte-level dedup: two references, one copy in the region.
+            assert slab.array_bytes < 3 * shared.nbytes
+            reader = SnapshotSlab.attach(slab.name)
+            try:
+                # Reconstructed views are distinct objects over one buffer.
+                assert np.shares_memory(reader.payload["a"], reader.payload["same"])
+                assert not np.shares_memory(
+                    reader.payload["a"], reader.payload["other"]
+                )
+            finally:
+                reader.payload = None
+                reader.close()
+        finally:
+            slab.destroy()
+
+    def test_describe_accounts_for_every_byte(self):
+        slab = _publish({"w": np.zeros((32, 8), dtype=np.float32)})
+        try:
+            stats = slab.describe()
+            assert stats["nbytes"] >= stats["pickle_bytes"] + stats["array_bytes"]
+            assert stats["array_bytes"] >= 32 * 8 * 4
+        finally:
+            slab.destroy()
+
+    def test_exists_tracks_lifecycle(self):
+        slab = _publish({"x": 1})
+        name = slab.name
+        assert SnapshotSlab.exists(name)
+        slab.destroy()
+        assert not SnapshotSlab.exists(name)
+
+
+class TestCorruptionDetection:
+    def test_attach_unknown_name_raises_file_not_found(self):
+        with pytest.raises(FileNotFoundError):
+            SnapshotSlab.attach(f"{SLAB_PREFIX}_0_999999")
+
+    def test_torn_publish_raises_and_leaves_uncommitted_segment(self):
+        plan = FaultPlan(
+            seed=0, specs=(FaultSpec("slab.publish", "torn_write", times=1),)
+        )
+        injector = FaultInjector(plan)
+        with pytest.raises(TornSlabError) as excinfo:
+            SnapshotSlab.publish({"w": np.ones(64)}, injector=injector)
+        torn = excinfo.value.slab
+        try:
+            # The header never committed, so a reader rejects the segment
+            # (this is the no-mixed-generations guarantee: attach sees a
+            # complete payload or an error, nothing in between).
+            with pytest.raises(SlabFormatError):
+                SnapshotSlab.attach(torn.name)
+            assert SnapshotSlab.exists(torn.name)
+        finally:
+            torn.destroy()
+        assert not SnapshotSlab.exists(torn.name)
+
+    def test_flipped_body_byte_fails_crc(self):
+        slab = _publish({"w": np.arange(128, dtype=np.int64)})
+        try:
+            buf = slab._segment.buf
+            buf[slab.nbytes - 1] ^= 0xFF
+            with pytest.raises(SlabFormatError, match="CRC"):
+                SnapshotSlab.attach(slab.name)
+        finally:
+            slab.destroy()
+
+
+class TestOrphanSweep:
+    def test_sweeps_own_dead_segments_and_records_events(self):
+        slab = _publish({"x": np.ones(4)})
+        name = slab.name
+        slab.close()  # handle gone, name still linked: an orphan-to-be
+        events = EventLog()
+        removed = sweep_orphan_slabs(events=events, clock=lambda: 1.5)
+        assert name in removed
+        assert not SnapshotSlab.exists(name)
+        recovered = events.events("state_recovered")
+        assert any(e.attrs["segment"] == name for e in recovered)
+        assert all(e.attrs["source"] == "orphan_sweep" for e in recovered)
+
+    def test_excluded_segments_survive_the_sweep(self):
+        slab = _publish({"x": 1})
+        try:
+            removed = sweep_orphan_slabs(exclude=(slab.name,))
+            assert slab.name not in removed
+            assert SnapshotSlab.exists(slab.name)
+        finally:
+            slab.destroy()
+
+    def test_other_live_processes_segments_are_left_alone(self):
+        # Fake a segment owned by a live foreign pid (pid 1 is always up).
+        path = f"/dev/shm/{SLAB_PREFIX}_1_0"
+        with open(path, "wb") as fh:
+            fh.write(b"\0" * 64)
+        try:
+            removed = sweep_orphan_slabs()
+            assert f"{SLAB_PREFIX}_1_0" not in removed
+            assert os.path.exists(path)
+        finally:
+            os.unlink(path)
+
+    def test_dead_pid_segment_is_reclaimed(self):
+        # A pid far beyond pid_max cannot be running.
+        name = f"{SLAB_PREFIX}_99999999_7"
+        path = f"/dev/shm/{name}"
+        with open(path, "wb") as fh:
+            fh.write(b"\0" * 64)
+        removed = sweep_orphan_slabs()
+        assert name in removed
+        assert not os.path.exists(path)

@@ -1,0 +1,339 @@
+"""Process fleet supervisor: slab-backed workers, identity with the
+in-process cluster, crash/hang recovery, and the generation-flip swap."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig, build_model
+from repro.faults import FaultPlan, FaultSpec
+from repro.infer import SnapshotSlab, shared_memory_available
+from repro.serving import (
+    FleetConfig,
+    FleetSupervisor,
+    ShardedCluster,
+    build_fleet,
+)
+from repro.serving.fleet import fleet_config
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="POSIX shared memory unavailable"
+)
+
+
+@pytest.fixture(scope="module")
+def fleet_model(unit_world_and_data):
+    _, train, _ = unit_world_and_data
+    return build_model(
+        "aw_moe", ModelConfig.unit(), train.meta, np.random.default_rng(0)
+    )
+
+
+@pytest.fixture(scope="module")
+def swap_target(unit_world_and_data):
+    _, train, _ = unit_world_and_data
+    return build_model(
+        "aw_moe", ModelConfig.unit(), train.meta, np.random.default_rng(9)
+    )
+
+
+def _traffic(world, n):
+    users = world.config.num_users
+    return [
+        (u % users, int(np.argmax(world.user_interests[u % users])))
+        for u in range(n)
+    ]
+
+
+def _drain(fleet, traffic):
+    results = []
+    for user, category in traffic:
+        results.extend(fleet.submit(user, category))
+    results.extend(fleet.flush())
+    return results
+
+
+def _key(results):
+    ordered = sorted(results, key=lambda r: (r.user, r.query_category))
+    return (
+        [(r.user, r.query_category) for r in ordered],
+        np.concatenate([r.items for r in ordered]),
+        np.concatenate([r.scores for r in ordered]),
+    )
+
+
+class TestBackends:
+    def test_inprocess_backend_is_a_plain_sharded_cluster(
+        self, unit_world, fleet_model
+    ):
+        cluster = build_fleet(
+            unit_world,
+            fleet_model,
+            fleet_config(num_workers=2),
+            backend="inprocess",
+            version="v1",
+        )
+        assert type(cluster) is ShardedCluster
+        assert all(w.engine.model_version == "v1" for w in cluster.workers)
+
+    def test_auto_prefers_processes_when_shm_works(self, unit_world, fleet_model):
+        fleet = build_fleet(
+            unit_world, fleet_model, fleet_config(num_workers=1), backend="auto"
+        )
+        try:
+            assert isinstance(fleet, FleetSupervisor)
+        finally:
+            fleet.stop()
+
+    def test_cluster_kwargs_rejected_on_process_backend(
+        self, unit_world, fleet_model
+    ):
+        with pytest.raises(TypeError, match="in-process"):
+            build_fleet(unit_world, fleet_model, backend="process", tracer=object())
+
+    def test_process_fleet_matches_inprocess_bitwise(self, unit_world, fleet_model):
+        config = fleet_config(num_workers=3, seed=11)
+        traffic = _traffic(unit_world, 30)
+        inproc = build_fleet(unit_world, fleet_model, config, backend="inprocess")
+        expected = _key(_drain(inproc, traffic))
+        fleet = build_fleet(unit_world, fleet_model, config, backend="process")
+        try:
+            got = _key(_drain(fleet, traffic))
+        finally:
+            fleet.stop()
+        assert got[0] == expected[0]
+        np.testing.assert_array_equal(got[1], expected[1])
+        np.testing.assert_array_equal(got[2], expected[2])
+
+
+class TestSupervision:
+    def test_sigkill_worker_restarts_and_drops_nothing(
+        self, unit_world, fleet_model
+    ):
+        config = fleet_config(num_workers=2, restart_backoff_s=0.01)
+        with FleetSupervisor(unit_world, fleet_model, config) as fleet:
+            traffic = _traffic(unit_world, 24)
+            results = []
+            for index, (user, category) in enumerate(traffic):
+                if index == 8:
+                    assert fleet.kill_worker(0) is not None
+                results.extend(fleet.submit(user, category))
+            results.extend(fleet.flush())
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                fleet.poll()
+                if fleet.workers[0].state == "healthy":
+                    break
+                time.sleep(0.01)
+            assert len(results) >= len(traffic)  # at-least-once, never dropped
+            assert fleet.restarts_total >= 1
+            counts = fleet.control.events.counts()
+            assert counts.get("worker_died", 0) >= 1
+            assert counts.get("worker_restarted", 0) >= 1
+
+    def test_hung_worker_is_killed_with_beats_missed_accounting(
+        self, unit_world, fleet_model
+    ):
+        # Worker 0's heartbeats are all lost: the supervisor must declare it
+        # hung once the deadline lapses, not wait on a process exit.
+        plan = FaultPlan(
+            seed=0,
+            specs=(
+                FaultSpec(
+                    "worker.heartbeat", "crash", times=None, match={"worker": 0}
+                ),
+            ),
+        )
+        config = fleet_config(
+            num_workers=2,
+            heartbeat_interval_s=0.02,
+            heartbeat_deadline_s=0.15,
+            restart_backoff_s=5.0,  # keep it down so the death is observable
+        )
+        with FleetSupervisor(
+            unit_world, fleet_model, config, fault_plan=plan
+        ) as fleet:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                fleet.poll()
+                if fleet.control.events.counts().get("worker_died", 0):
+                    break
+                time.sleep(0.02)
+            died = fleet.control.events.events("worker_died")
+            assert died, "hung worker was never declared dead"
+            assert died[0].attrs["reason"] == "hung"
+            assert died[0].attrs["beats_missed"] >= 1
+
+    def test_flapping_worker_is_quarantined_and_traffic_reroutes(
+        self, unit_world, fleet_model
+    ):
+        # Two deaths inside the window with max_restarts=1: quarantine.
+        config = fleet_config(
+            num_workers=2, max_restarts=1, restart_backoff_s=0.01
+        )
+        with FleetSupervisor(unit_world, fleet_model, config) as fleet:
+            victim = next(
+                u for u in range(unit_world.config.num_users)
+                if fleet.shard_for(u) == 0
+            )
+            for _ in range(2):
+                fleet.kill_worker(0)
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    fleet.poll()
+                    state = fleet.workers[0].state
+                    if state in ("healthy", "quarantined"):
+                        break
+                    time.sleep(0.01)
+                if fleet.workers[0].state == "quarantined":
+                    break
+            assert fleet.quarantined_workers == 1
+            assert fleet.control.events.counts().get("worker_quarantined", 0) == 1
+            category = int(np.argmax(unit_world.user_interests[victim]))
+            results = fleet.submit(victim, category)
+            results.extend(fleet.flush())
+            assert any(r.user == victim for r in results)  # sibling answered
+
+    def test_all_workers_down_falls_back_to_popularity_floor(
+        self, unit_world, fleet_model
+    ):
+        # The sole worker is dead and still backing off: the supervisor's
+        # popularity floor answers rather than dropping.
+        config = fleet_config(num_workers=1, restart_backoff_s=5.0)
+        with FleetSupervisor(unit_world, fleet_model, config) as fleet:
+            fleet.kill_worker(0)
+            category = int(np.argmax(unit_world.user_interests[3]))
+            results = fleet.submit(3, category)
+            assert len(results) == 1
+            assert results[0].tier == "popularity"
+            assert np.all(unit_world.item_category[results[0].items] == category)
+            assert fleet.merged_metrics().shed >= 1
+
+    def test_dead_worker_telemetry_is_not_lost(self, unit_world, fleet_model):
+        config = fleet_config(
+            num_workers=2, heartbeat_interval_s=0.02, restart_backoff_s=5.0
+        )
+        with FleetSupervisor(unit_world, fleet_model, config) as fleet:
+            traffic = _traffic(unit_world, 16)
+            for user, category in traffic:
+                fleet.submit(user, category)
+            fleet.flush()
+            # Pull a fresh cumulative snapshot from every worker.
+            fleet.refresh_reports()
+            before = fleet.merged_metrics().queries
+            assert before == len(traffic)
+            fleet.kill_worker(1)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                fleet.poll()
+                if fleet.control.events.counts().get("worker_died", 0):
+                    break
+                time.sleep(0.01)
+            died = fleet.control.events.events("worker_died")
+            assert died and died[0].attrs["exit_code"] is not None
+            # The last-flushed snapshot was retired, not dropped.
+            assert fleet.merged_metrics().queries == before
+
+
+class TestSwap:
+    def test_generation_flip_is_atomic_and_unlinks_old_slab(
+        self, unit_world, fleet_model, swap_target
+    ):
+        config = fleet_config(num_workers=2)
+        with FleetSupervisor(
+            unit_world, fleet_model, config, version="v1"
+        ) as fleet:
+            pre_swap = _traffic(unit_world, 8)
+            for user, category in pre_swap:
+                fleet.submit(user, category)
+            old_name = fleet._slab.name
+            drained = fleet.swap_model(swap_target, version="v2")
+            # Requests accepted before the flip complete on the old model.
+            assert {r.model_version for r in drained} <= {"v1"}
+            assert fleet.generation == 1
+            assert not SnapshotSlab.exists(old_name)
+            post = _drain(fleet, _traffic(unit_world, 8))
+            # No mixed generations: everything after the flip is new-model.
+            assert {r.model_version for r in post} == {"v2"}
+            assert all(
+                row["generation"] == 1
+                for row in fleet.worker_status()
+                if row["state"] == "healthy"
+            )
+            counts = fleet.control.events.counts()
+            assert counts.get("slab_published") == 2
+            assert counts.get("slab_unlinked") == 1
+            assert counts.get("cache_invalidation") == 1
+
+    def test_torn_publish_is_retried_under_a_fresh_name(
+        self, unit_world, fleet_model, swap_target
+    ):
+        plan = FaultPlan(
+            seed=0,
+            specs=(FaultSpec("slab.publish", "torn_write", after=1, times=1),),
+        )
+        config = fleet_config(num_workers=2)
+        with FleetSupervisor(
+            unit_world, fleet_model, config, fault_plan=plan
+        ) as fleet:
+            fleet.swap_model(swap_target, version="v2")
+            counts = fleet.control.events.counts()
+            # Bootstrap publish + torn attempt's unlink + successful retry.
+            assert counts.get("slab_published") == 2
+            unlinked = fleet.control.events.events("slab_unlinked")
+            assert any(e.attrs["reason"] == "torn_publish" for e in unlinked)
+            assert fleet.generation == 1
+            results = _drain(fleet, _traffic(unit_world, 6))
+            assert {r.model_version for r in results} == {"v2"}
+
+    def test_stop_leaves_no_segments_behind(self, unit_world, fleet_model):
+        config = fleet_config(num_workers=2)
+        fleet = FleetSupervisor(unit_world, fleet_model, config)
+        name = fleet._slab.name
+        _drain(fleet, _traffic(unit_world, 6))
+        fleet.stop()
+        assert not SnapshotSlab.exists(name)
+        assert fleet.workers_available == 0
+
+
+class TestConfig:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(num_workers=0)
+        with pytest.raises(ValueError):
+            FleetConfig(heartbeat_deadline_s=0.01, heartbeat_interval_s=0.05)
+
+    def test_fleet_config_overrides(self):
+        config = fleet_config(num_workers=5, seed=3)
+        assert config.num_workers == 5
+        assert config.seed == 3
+        assert config.max_batch_size == FleetConfig().max_batch_size
+
+    def test_injector_context_reaches_workers(self, unit_world, fleet_model):
+        # A spawn-time transient on worker 0's restart path only: the
+        # bootstrap spawn is spared (`after` counts matching visits).
+        plan = FaultPlan(
+            seed=0,
+            specs=(
+                FaultSpec(
+                    "worker.spawn", "transient", after=1, times=1,
+                    match={"worker": 0},
+                ),
+            ),
+        )
+        config = fleet_config(num_workers=2, restart_backoff_s=0.01)
+        with FleetSupervisor(
+            unit_world, fleet_model, config, fault_plan=plan
+        ) as fleet:
+            assert fleet.workers_available == 2  # bootstrap unaffected
+            fleet.kill_worker(0)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                fleet.poll()
+                if fleet.workers[0].state == "healthy":
+                    break
+                time.sleep(0.01)
+            assert fleet.workers[0].state == "healthy"
+            # One extra backoff cycle: death + failed spawn both count.
+            assert fleet.workers[0].restarts >= 2
